@@ -1,0 +1,35 @@
+# Convenience targets for the reproduction repo.
+
+.PHONY: install test bench bench-core examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+# full evaluation-section reproduction (all tables + figures + ablations)
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+# just the paper's tables/figures, skipping the ablation extras
+bench-core:
+	pytest benchmarks/test_table1_datasets.py \
+	       benchmarks/test_fig3_scaling.py \
+	       benchmarks/test_table2_construction.py \
+	       benchmarks/test_fig4_replication.py \
+	       benchmarks/test_table3_kdtree_comparison.py \
+	       benchmarks/test_fig5_breakdown.py \
+	       benchmarks/test_fig6_recall_vs_time.py \
+	       --benchmark-only -s
+
+examples:
+	python examples/quickstart.py
+	python examples/batch_recommender.py
+	python examples/image_descriptor_search.py
+	python examples/knn_classifier.py
+	python examples/cluster_scaling_study.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

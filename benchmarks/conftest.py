@@ -1,0 +1,71 @@
+"""Benchmark-suite fixtures and helpers.
+
+Each benchmark regenerates one table or figure from the paper's §V at
+reduced scale: the experiment runs once inside ``benchmark.pedantic`` (the
+wall-clock number pytest-benchmark records is the simulation's real
+runtime), prints the paper-style rows next to the paper's published
+numbers, and asserts the qualitative shape — who wins, what grows, what
+shrinks.  Absolute virtual seconds are not expected to match the paper
+(see EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedANN, SystemConfig
+from repro.datasets import brute_force_knn, sample_queries
+from repro.hnsw import HnswParams
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The recorded wall time is the real runtime of the simulation; the
+    experiment's virtual cluster times are printed by the test body.
+    """
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run
+
+
+@pytest.fixture(scope="session")
+def sift_corpus():
+    """Shared SIFT-like corpus for the search benches (real searcher)."""
+    from repro.datasets import sift_like
+
+    X = sift_like(6000, seed=101)
+    Q = sample_queries(X, 200, noise_scale=0.05, seed=102)
+    gt_d, gt_i = brute_force_knn(X, Q, 10)
+    return X, Q, gt_d, gt_i
+
+
+@pytest.fixture(scope="session")
+def fitted_real_system(sift_corpus):
+    """One fitted 16-core real-searcher system shared by several benches."""
+    X, *_ = sift_corpus
+    cfg = SystemConfig(
+        n_cores=16,
+        cores_per_node=8,
+        k=10,
+        hnsw=HnswParams(M=8, ef_construction=40, seed=7),
+        n_probe=4,
+        seed=7,
+    )
+    ann = DistributedANN(cfg)
+    ann.fit(X)
+    return ann

@@ -1,0 +1,61 @@
+"""Ablation — throughput vs batch size (the system's design premise).
+
+The paper's introduction argues for *batched* processing: "increased
+throughput ... can be useful when queries need not be answered in real
+time and can be batched together".  This bench quantifies that premise on
+the simulated cluster: throughput (queries per virtual second) must rise
+with batch size until the workers saturate, while per-query p99 latency
+grows — the batching trade-off.  Also reports the latency percentiles
+(two-sided mode so per-query completion is observable).
+"""
+
+import numpy as np
+
+from repro.core import DistributedANN, SystemConfig
+from repro.datasets import load_dataset, sample_queries
+from repro.eval import format_table, latency_stats
+from repro.hnsw import HnswParams
+
+
+def test_throughput_rises_with_batch_size(run_once):
+    def experiment():
+        ds = load_dataset("ANN_SIFT1B", n_points=4096, n_queries=10, k=10, seed=91)
+        cfg = SystemConfig(
+            n_cores=32,
+            cores_per_node=8,
+            k=10,
+            hnsw=HnswParams(M=16, ef_construction=100),
+            searcher="modeled",
+            modeled_partition_points=10**9 // 32,
+            modeled_sample_points=16,
+            modeled_search_seconds=2e-3,
+            n_probe=3,
+            one_sided=False,
+            seed=91,
+        )
+        ann = DistributedANN(cfg)
+        ann.fit(ds.X)
+        rows = []
+        for batch in (8, 32, 128, 512):
+            Q = sample_queries(ds.X, batch, noise_scale=0.05, seed=92)
+            _, _, rep = ann.query(Q)
+            ls = latency_stats(rep.query_latencies)
+            rows.append((batch, rep.throughput, ls.p50 * 1e3, ls.p99 * 1e3))
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print(
+        format_table(
+            ["batch size", "throughput (q/s)", "p50 latency (ms)", "p99 latency (ms)"],
+            rows,
+            title="Ablation — batching premise: throughput vs batch size",
+        )
+    )
+    thr = [r[1] for r in rows]
+    p99 = [r[3] for r in rows]
+    # throughput grows with batch size (until worker saturation)
+    assert thr[2] > 2 * thr[0]
+    assert thr[3] >= thr[2] * 0.8  # may flatten, must not collapse
+    # the price: tail latency grows with batch depth
+    assert p99[-1] > p99[0]

@@ -1,0 +1,69 @@
+"""Ablation — master-worker vs the multiple-owner strategy (§IV).
+
+The paper: multiple-owner gave "a small improvement ... over an optimized
+master-worker strategy but this improvement deteriorated as core count
+increased" because it cannot be combined with replication-based load
+balancing.  This bench compares the two strategies on a skewed workload at
+two scales, with replication enabled for master-worker at the larger one.
+"""
+
+import numpy as np
+
+from repro.core import DistributedANN, SystemConfig
+from repro.datasets import load_dataset
+from repro.eval import format_table
+from repro.hnsw import HnswParams
+
+
+def run_strategy(ds, Q, P, owner_strategy, replication):
+    cfg = SystemConfig(
+        n_cores=P,
+        cores_per_node=8,
+        k=10,
+        hnsw=HnswParams(M=16, ef_construction=100),
+        searcher="modeled",
+        modeled_partition_points=10**9 // P,
+        modeled_sample_points=16,
+        modeled_search_seconds=2e-3,
+        n_probe=3,
+        one_sided=False,
+        owner_strategy=owner_strategy,
+        replication_factor=replication,
+        seed=41,
+    )
+    ann = DistributedANN(cfg)
+    ann.fit(ds.X)
+    _, _, rep = ann.query(Q)
+    return rep.total_seconds
+
+
+def test_owner_strategy_comparison(run_once):
+    def experiment():
+        from repro.datasets import sample_queries
+
+        ds = load_dataset("ANN_SIFT1B", n_points=4096, n_queries=10, k=10, seed=41)
+        Q = sample_queries(ds.X, 400, noise_scale=0.05, seed=42)
+        rows = []
+        for P in (16, 64):
+            t_master = run_strategy(ds, Q, P, "master", 1)
+            t_owner = run_strategy(ds, Q, P, "multiple", 1)
+            t_master_repl = run_strategy(ds, Q, P, "master", min(4, P))
+            rows.append((P, t_master, t_owner, t_master_repl))
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print(
+        format_table(
+            ["cores", "master-worker", "multiple-owner", "master + replication r=4"],
+            rows,
+            title="Ablation — owner strategy (virtual seconds, skewed batch)",
+        )
+    )
+    # the paper's conclusion: master-worker WITH replication beats the
+    # multiple-owner strategy at larger core counts
+    P_big = rows[-1]
+    assert P_big[3] < P_big[2], (
+        "replicated master-worker should win at scale "
+        f"(got master+repl={P_big[3]:.4f} vs owner={P_big[2]:.4f})"
+    )

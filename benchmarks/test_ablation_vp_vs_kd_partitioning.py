@@ -1,0 +1,61 @@
+"""Ablation — VP vs KD partitioning quality as dimension grows.
+
+The paper's reason for VP-trees (§III-B, citing Yianilos): they prune
+better in high dimensions and are metric-agnostic, while KD pruning
+collapses.  This bench holds everything fixed except the partitioning
+geometry and measures the exact-routing fan-out — the number of
+partitions a true-radius ball intersects — as dimension grows.
+"""
+
+import numpy as np
+
+from repro.datasets import brute_force_knn, sample_queries
+from repro.eval import format_table
+from repro.kdtree import KDPartitionRouter, KDTree
+from repro.vptree import PartitionRouter, VPTree
+
+
+def exact_fanout(router, Q, gt_d):
+    fan = []
+    for qi in range(len(Q)):
+        fan.append(len(router.route_exact(Q[qi], float(gt_d[qi][-1]) * (1 + 1e-9))))
+    return float(np.mean(fan))
+
+
+def test_vp_prunes_better_in_high_dim(run_once):
+    dims = [4, 16, 64, 256]
+
+    def experiment():
+        rows = []
+        rng = np.random.default_rng(53)
+        for dim in dims:
+            centers = rng.normal(0, 10, size=(8, dim))
+            X = np.concatenate(
+                [c + rng.normal(0, 1.0, size=(256, dim)) for c in centers]
+            ).astype(np.float32)
+            Q = sample_queries(X, 40, noise_scale=0.1, seed=dim)
+            gt_d, _ = brute_force_knn(X, Q, 10)
+            vp = PartitionRouter.from_vptree(VPTree(X, leaf_size=64, seed=1))
+            kd = KDPartitionRouter.from_kdtree(KDTree(X, leaf_size=64))
+            n_parts = vp.n_partitions
+            rows.append(
+                (dim, n_parts, exact_fanout(vp, Q, gt_d), exact_fanout(kd, Q, gt_d))
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print(
+        format_table(
+            ["dim", "partitions", "VP exact fanout", "KD exact fanout"],
+            rows,
+            title="Ablation — exact-routing fanout vs dimension "
+            "(lower = better pruning)",
+        )
+    )
+    # in high dimension VP must visit no more partitions than KD
+    hi = rows[-1]
+    assert hi[2] <= hi[3] + 1e-9
+    # and KD fan-out must have degraded substantially vs low dim
+    kd_low, kd_hi = rows[0][3], rows[-1][3]
+    assert kd_hi > 1.5 * kd_low

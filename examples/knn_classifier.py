@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Distributed k-NN classification (the paper's other motivating use).
+
+The paper's intro: k-NN "finds extensive applications in machine learning
+and data mining as a classification and regression method", and batched
+throughput search is exactly what an offline classifier needs.  Here an
+MDCGen-style labeled dataset (the paper's SYN generator, which returns
+cluster labels) is split into train/test, the training vectors go into the
+distributed index, and test points are classified by majority vote over
+their k approximate neighbors — including measuring how the routing
+fan-out knob trades accuracy for throughput.
+
+Run:  python examples/knn_classifier.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro import DistributedANN, SystemConfig
+from repro.datasets import MDCGenConfig, mdcgen
+from repro.hnsw import HnswParams
+
+
+def majority_vote(neighbor_labels: np.ndarray) -> int:
+    vals, counts = np.unique(neighbor_labels[neighbor_labels >= 0], return_counts=True)
+    if len(vals) == 0:
+        return -1
+    return int(vals[np.argmax(counts)])
+
+
+def main() -> None:
+    print("generating a labeled 10-cluster MDCGen dataset (paper's SYN setup) ...")
+    X, labels, _ = mdcgen(
+        MDCGenConfig(
+            n_points=6000,
+            dim=64,
+            n_clusters=10,
+            outlier_fraction=0.005,
+            compactness=0.04,
+            seed=8,
+        )
+    )
+    rng = np.random.default_rng(9)
+    test_idx = rng.choice(len(X), size=500, replace=False)
+    train_mask = np.ones(len(X), dtype=bool)
+    train_mask[test_idx] = False
+    X_train, y_train = X[train_mask], labels[train_mask]
+    X_test, y_test = X[test_idx], labels[test_idx]
+    # only score points with a real class (outliers have label -1)
+    scored = y_test >= 0
+    print(f"  train={len(X_train)}, test={len(X_test)} ({scored.sum()} non-outlier)")
+
+    for n_probe in (1, 3):
+        ann = DistributedANN(
+            SystemConfig(
+                n_cores=8,
+                cores_per_node=4,
+                k=10,
+                hnsw=HnswParams(M=8, ef_construction=60, seed=8),
+                n_probe=n_probe,
+                seed=8,
+            )
+        )
+        ann.fit(X_train)
+        D, I, rep = ann.query(X_test, k=10)
+
+        pred = np.array(
+            [majority_vote(y_train[I[i][I[i] >= 0]]) for i in range(len(X_test))]
+        )
+        acc = float((pred[scored] == y_test[scored]).mean())
+        print(
+            f"n_probe={n_probe}: accuracy={acc:.3f} on non-outlier test points, "
+            f"virtual batch time {rep.total_seconds*1e3:.2f} ms "
+            f"({rep.throughput:,.0f} queries/s)"
+        )
+
+    print(
+        "\neven a single-probe route classifies accurately here: cluster-pure "
+        "neighborhoods tolerate approximate neighbor sets — the reason the "
+        "paper's approximate search is a drop-in for k-NN classification."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,289 @@
+"""Command-line interface.
+
+Four subcommands mirroring the lifecycle a user of the real corpora needs:
+
+- ``repro gen``    — synthesize a Table I analogue corpus to fvecs files,
+- ``repro build``  — build the distributed index from an fvecs file and
+  persist it to a directory (router skeleton + per-partition HNSW files),
+- ``repro query``  — load a built index, answer a query fvecs batch, write
+  ivecs results, report recall when ground truth is available,
+- ``repro bench``  — tiny built-in strong-scaling sweep.
+
+Installed as ``repro`` (console script) or runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset, write_fvecs, write_ivecs
+
+    ds = load_dataset(args.dataset, n_points=args.n_points, n_queries=args.n_queries, k=args.k, seed=args.seed)
+    os.makedirs(args.out, exist_ok=True)
+    write_fvecs(os.path.join(args.out, "base.fvecs"), ds.X)
+    write_fvecs(os.path.join(args.out, "query.fvecs"), ds.Q)
+    write_ivecs(os.path.join(args.out, "groundtruth.ivecs"), ds.gt_ids.astype(np.int32))
+    print(
+        f"wrote {ds.n_points} x {ds.X.shape[1]} base vectors, {ds.n_queries} queries, "
+        f"and exact ground truth (k={args.k}) to {args.out}/"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core import DistributedANN, SystemConfig
+    from repro.datasets import read_fvecs
+    from repro.hnsw import HnswParams
+
+    X = read_fvecs(args.base)
+    cfg = SystemConfig(
+        n_cores=args.cores,
+        cores_per_node=args.cores_per_node,
+        k=args.k,
+        hnsw=HnswParams(M=args.M, ef_construction=args.ef_construction, seed=args.seed),
+        n_probe=args.n_probe,
+        seed=args.seed,
+    )
+    ann = DistributedANN(cfg)
+    t0 = time.perf_counter()
+    report = ann.fit(X)
+    wall = time.perf_counter() - t0
+    os.makedirs(args.out, exist_ok=True)
+    meta = {
+        "dim": int(X.shape[1]),
+        "n_points": int(len(X)),
+        "n_cores": cfg.n_cores,
+        "cores_per_node": cfg.cores_per_node,
+        "k": cfg.k,
+        "M": cfg.hnsw.M,
+        "ef_construction": cfg.hnsw.ef_construction,
+        "n_probe": cfg.n_probe,
+        "seed": cfg.seed,
+        "partition_sizes": report.partition_sizes,
+    }
+    with open(os.path.join(args.out, "meta.json"), "w") as fh:
+        json.dump(meta, fh, indent=2)
+    _save_router(ann.router, os.path.join(args.out, "router.npz"))
+    for pid, part in ann.partitions.items():
+        part.index.save(os.path.join(args.out, f"partition{pid}.npz"))
+    print(
+        f"built {cfg.n_cores} partitions in {wall:.1f}s wall "
+        f"({report.total_seconds:.3f}s virtual cluster time; "
+        f"VP {report.vptree_seconds:.3f}s, HNSW {report.hnsw_seconds:.3f}s)\n"
+        f"index saved to {args.out}/"
+    )
+    return 0
+
+
+def _save_router(router, path: str) -> None:
+    """Flatten the RouteNode tree to arrays (preorder)."""
+    vps, mus, partitions = [], [], []
+
+    def rec(node) -> None:
+        if node.is_leaf:
+            vps.append(np.zeros(0, dtype=np.float32))
+            mus.append(-1.0)
+            partitions.append(node.partition)
+        else:
+            vps.append(np.asarray(node.vp, dtype=np.float32))
+            mus.append(float(node.mu))
+            partitions.append(-1)
+            rec(node.left)
+            rec(node.right)
+
+    rec(router.root)
+    lengths = np.array([len(v) for v in vps], dtype=np.int64)
+    np.savez_compressed(
+        path,
+        vp_flat=np.concatenate(vps) if vps else np.zeros(0, dtype=np.float32),
+        vp_lengths=lengths,
+        mus=np.array(mus),
+        partitions=np.array(partitions, dtype=np.int64),
+        n_partitions=np.array([router.n_partitions]),
+    )
+
+
+def _load_router(path: str):
+    from repro.vptree.router import PartitionRouter, RouteNode
+
+    data = np.load(path)
+    vp_flat = data["vp_flat"]
+    lengths = data["vp_lengths"]
+    mus = data["mus"]
+    partitions = data["partitions"]
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    pos = [0]
+
+    def rec() -> RouteNode:
+        i = pos[0]
+        pos[0] += 1
+        if partitions[i] >= 0:
+            return RouteNode(partition=int(partitions[i]))
+        vp = vp_flat[offsets[i] : offsets[i + 1]]
+        left = rec()
+        right = rec()
+        return RouteNode(vp=vp, mu=float(mus[i]), left=left, right=right)
+
+    return PartitionRouter(rec(), int(data["n_partitions"][0]))
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core import DistributedANN, SystemConfig
+    from repro.core.partition import Partition
+    from repro.datasets import read_fvecs, read_ivecs, write_ivecs
+    from repro.hnsw import HnswIndex, HnswParams
+
+    with open(os.path.join(args.index, "meta.json")) as fh:
+        meta = json.load(fh)
+    cfg = SystemConfig(
+        n_cores=meta["n_cores"],
+        cores_per_node=meta["cores_per_node"],
+        k=args.k or meta["k"],
+        hnsw=HnswParams(M=meta["M"], ef_construction=meta["ef_construction"], seed=meta["seed"]),
+        n_probe=args.n_probe or meta["n_probe"],
+        seed=meta["seed"],
+    )
+    ann = DistributedANN(cfg)
+    # reconstitute the fitted state from disk
+    from repro.core.build import BuildOutput
+    from repro.core.partition import NodeStore
+    from repro.core.replication import Workgroups
+
+    router = _load_router(os.path.join(args.index, "router.npz"))
+    partitions = {}
+    for pid in range(meta["n_cores"]):
+        idx = HnswIndex.load(os.path.join(args.index, f"partition{pid}.npz"))
+        partitions[pid] = Partition(
+            pid, idx.points.copy(), np.array([idx.external_id(i) for i in range(len(idx))]),
+            index=idx,
+        )
+    workgroups = Workgroups(cfg.n_cores, cfg.replication_factor)
+    node_stores = {n: NodeStore(n) for n in range(cfg.n_nodes)}
+    for pid, part in partitions.items():
+        for core in workgroups.cores_for_partition(pid):
+            node_stores[cfg.node_of_core(core)].add(part)
+    ann._build = BuildOutput(
+        router=router,
+        partitions=partitions,
+        node_stores=node_stores,
+        workgroups=workgroups,
+        total_seconds=0.0,
+        hnsw_seconds=0.0,
+        vptree_seconds=0.0,
+        replication_seconds=0.0,
+        partition_sizes=[p.n_points for p in partitions.values()],
+    )
+    ann._dim = meta["dim"]
+
+    Q = read_fvecs(args.queries)
+    D, I, rep = ann.query(Q)
+    if args.out:
+        write_ivecs(args.out, I.astype(np.int32))
+        print(f"wrote neighbor ids to {args.out}")
+    print(
+        f"{rep.n_queries} queries, {rep.tasks} tasks, virtual time "
+        f"{rep.total_seconds*1e3:.2f} ms ({rep.throughput:,.0f} q/s)"
+    )
+    if args.groundtruth:
+        from repro.eval import recall_at_k
+
+        gt = read_ivecs(args.groundtruth).astype(np.int64)
+        k = min(I.shape[1], gt.shape[1])
+        print(f"recall@{k} = {recall_at_k(I[:, :k], gt[:, :k]):.4f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core import DistributedANN, SystemConfig
+    from repro.datasets import load_dataset, sample_queries
+    from repro.eval import speedup_table
+    from repro.hnsw import HnswParams
+
+    ds = load_dataset(args.dataset, n_points=args.n_points, n_queries=10, seed=args.seed)
+    Q = sample_queries(ds.X, args.n_queries, noise_scale=0.05, seed=args.seed + 1)
+    meas = []
+    for P in args.cores:
+        cfg = SystemConfig(
+            n_cores=P,
+            cores_per_node=min(24, P),
+            hnsw=HnswParams(M=16, ef_construction=100),
+            searcher="modeled",
+            modeled_partition_points=max(ds.paper_n_points // P, 64),
+            modeled_sample_points=16,
+            modeled_search_seconds=args.task_seconds,
+            n_probe=3,
+            seed=args.seed,
+        )
+        ann = DistributedANN(cfg)
+        ann.fit(ds.X)
+        _, _, rep = ann.query(Q)
+        meas.append((P, rep.total_seconds))
+        print(f"P={P:5d}  virtual {rep.total_seconds:.4f}s")
+    for row in speedup_table(meas):
+        print(f"  {row.cores:5d} cores: speedup {row.speedup:6.2f}  efficiency {row.efficiency:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("gen", help="synthesize a Table I analogue corpus")
+    g.add_argument("dataset", choices=["ANN_SIFT1B", "DEEP1B", "ANN_GIST1M", "SYN_1M", "SYN_10M"])
+    g.add_argument("--out", required=True)
+    g.add_argument("--n-points", type=int, default=10_000, dest="n_points")
+    g.add_argument("--n-queries", type=int, default=100, dest="n_queries")
+    g.add_argument("--k", type=int, default=10)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(func=_cmd_gen)
+
+    b = sub.add_parser("build", help="build + persist the distributed index")
+    b.add_argument("base", help="base vectors (.fvecs)")
+    b.add_argument("--out", required=True)
+    b.add_argument("--cores", type=int, default=8)
+    b.add_argument("--cores-per-node", type=int, default=4, dest="cores_per_node")
+    b.add_argument("--k", type=int, default=10)
+    b.add_argument("--M", type=int, default=16)
+    b.add_argument("--ef-construction", type=int, default=100, dest="ef_construction")
+    b.add_argument("--n-probe", type=int, default=3, dest="n_probe")
+    b.add_argument("--seed", type=int, default=0)
+    b.set_defaults(func=_cmd_build)
+
+    q = sub.add_parser("query", help="answer a query batch from a saved index")
+    q.add_argument("index", help="index directory from `repro build`")
+    q.add_argument("queries", help="query vectors (.fvecs)")
+    q.add_argument("--out", help="write neighbor ids (.ivecs)")
+    q.add_argument("--groundtruth", help="exact ids (.ivecs) to compute recall")
+    q.add_argument("--k", type=int, default=None)
+    q.add_argument("--n-probe", type=int, default=None, dest="n_probe")
+    q.set_defaults(func=_cmd_query)
+
+    be = sub.add_parser("bench", help="strong-scaling sweep on the simulated cluster")
+    be.add_argument("--dataset", default="ANN_SIFT1B")
+    be.add_argument("--cores", type=int, nargs="+", default=[64, 128, 256])
+    be.add_argument("--n-points", type=int, default=4096, dest="n_points")
+    be.add_argument("--n-queries", type=int, default=1000, dest="n_queries")
+    be.add_argument("--task-seconds", type=float, default=2e-3, dest="task_seconds")
+    be.add_argument("--seed", type=int, default=0)
+    be.set_defaults(func=_cmd_bench)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

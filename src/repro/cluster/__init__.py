@@ -1,0 +1,10 @@
+"""Clustering substrate: k-means (Lloyd's algorithm with k-means++ seeding).
+
+Needed by the compressed-index baselines of the paper's related-work
+section (inverted-file indexes assign points to centroid cells; product
+quantization trains one codebook per subspace with k-means).
+"""
+
+from repro.cluster.kmeans import KMeans, kmeans_plus_plus_init
+
+__all__ = ["KMeans", "kmeans_plus_plus_init"]

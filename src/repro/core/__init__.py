@@ -1,0 +1,34 @@
+"""The paper's system: distributed VP-partitioned HNSW search.
+
+Public surface:
+
+- :class:`~repro.core.config.SystemConfig` — every knob of the system
+  (cores, nodes, HNSW params, routing mode, replication factor, one-sided
+  vs two-sided results, owner strategy, real vs modeled local search).
+- :class:`~repro.core.engine.DistributedANN` — the facade: ``fit(X)`` runs
+  the distributed construction (Algorithms 1-2 + per-partition HNSW
+  builds), ``query(Q)`` runs the master-worker batch search (Algorithms
+  3-5) on the simulated cluster and returns results plus a full report
+  (virtual times, communication breakdown, per-core load).
+- :class:`~repro.core.engine.BuildReport` / :class:`~repro.core.engine.SearchReport`
+  — the measured quantities every benchmark consumes.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.partition import Partition, NodeStore
+from repro.core.results import GlobalResults
+from repro.core.searcher import LocalSearcher, RealHnswSearcher, ModeledSearcher
+from repro.core.engine import DistributedANN, BuildReport, SearchReport
+
+__all__ = [
+    "SystemConfig",
+    "Partition",
+    "NodeStore",
+    "GlobalResults",
+    "LocalSearcher",
+    "RealHnswSearcher",
+    "ModeledSearcher",
+    "DistributedANN",
+    "BuildReport",
+    "SearchReport",
+]

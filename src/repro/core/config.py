@@ -1,0 +1,133 @@
+"""System configuration.
+
+One dataclass holds every knob of the distributed system so experiments are
+single-object parameter sweeps.  Defaults are a small laptop-scale setup;
+the benchmarks instantiate paper-scale variants (up to 8192 simulated
+cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hnsw.params import HnswParams
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.errors import SimConfigError
+from repro.simmpi.network import NetworkModel
+
+__all__ = ["SystemConfig"]
+
+_ROUTINGS = ("approx", "adaptive")
+_OWNERS = ("master", "multiple")
+_SEARCHERS = ("real", "modeled")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """All parameters of one :class:`~repro.core.engine.DistributedANN`.
+
+    Attributes
+    ----------
+    n_cores:
+        P — number of processing cores = number of data partitions (the
+        paper couples these: one leaf of the VP tree per core).
+    cores_per_node:
+        Cores per compute node (paper's XC40: 24).  ``n_cores`` must be a
+        multiple of it or smaller than it.
+    routing:
+        ``"approx"`` — fixed ``n_probe`` best-first partitions per query
+        (the throughput mode).  ``"adaptive"`` — pilot probe of the nearest
+        partition, then exact ball routing with the pilot's k-th distance
+        (guaranteed partition coverage; needs two-sided results).
+    replication_factor:
+        r — each partition is replicated on r consecutive cores' nodes and
+        the master round-robins queries over the workgroup (Alg. 5);
+        ``1`` disables replication (base algorithm).
+    one_sided:
+        Workers return results via RMA ``Get_accumulate`` into the master's
+        window (Fig. 2) instead of point-to-point sends.
+    owner_strategy:
+        ``"master"`` — the paper's main design.  ``"multiple"`` — the
+        hash-owner variant the paper describes (every node owns a slice of
+        the queries and routes them itself).
+    searcher:
+        ``"real"`` — partitions hold real HNSW indexes; results and recall
+        are genuine.  ``"modeled"`` — local searches charge the analytic
+        HNSW cost for ``modeled_partition_points`` points (paper-scale
+        partitions) and answer from a small real subsample; used for the
+        billion-point scaling experiments.
+    """
+
+    n_cores: int = 8
+    cores_per_node: int = 4
+    k: int = 10
+    metric: str = "l2"
+    hnsw: HnswParams = field(default_factory=lambda: HnswParams(M=8, ef_construction=40))
+    ef_search: int | None = None
+    routing: str = "approx"
+    n_probe: int = 3
+    replication_factor: int = 1
+    one_sided: bool = True
+    owner_strategy: str = "master"
+    searcher: str = "real"
+    #: virtual points per partition for the modeled searcher (e.g. 1e9/P)
+    modeled_partition_points: int = 1_000_000
+    #: real points kept per partition by the modeled searcher to answer from
+    modeled_sample_points: int = 128
+    #: explicit virtual seconds per modeled local search.  None = use the
+    #: analytic HNSW estimate.  The scaling benchmarks set this from the
+    #: paper's own aggregate throughput (e.g. 6.3 s x 8192 cores / (1e4
+    #: queries x fanout) for ANN_SIFT1B), because the paper's measured
+    #: per-task cost is far above any analytic HNSW estimate — see
+    #: EXPERIMENTS.md, "calibration".
+    modeled_search_seconds: float | None = None
+    network: NetworkModel = field(default_factory=NetworkModel)
+    cost: CostModel = field(default_factory=CostModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise SimConfigError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.cores_per_node < 1:
+            raise SimConfigError(f"cores_per_node must be >= 1, got {self.cores_per_node}")
+        if self.k < 1:
+            raise SimConfigError(f"k must be >= 1, got {self.k}")
+        if self.routing not in _ROUTINGS:
+            raise SimConfigError(f"routing must be one of {_ROUTINGS}, got {self.routing!r}")
+        if self.owner_strategy not in _OWNERS:
+            raise SimConfigError(
+                f"owner_strategy must be one of {_OWNERS}, got {self.owner_strategy!r}"
+            )
+        if self.searcher not in _SEARCHERS:
+            raise SimConfigError(f"searcher must be one of {_SEARCHERS}, got {self.searcher!r}")
+        if not 1 <= self.replication_factor <= self.n_cores:
+            raise SimConfigError(
+                f"replication_factor must be in [1, n_cores={self.n_cores}], "
+                f"got {self.replication_factor}"
+            )
+        if self.n_probe < 1:
+            raise SimConfigError(f"n_probe must be >= 1, got {self.n_probe}")
+        if self.routing == "adaptive" and self.one_sided:
+            raise SimConfigError(
+                "adaptive routing needs the pilot result back at the master, "
+                "which requires two-sided results (one_sided=False)"
+            )
+
+    # -- derived topology ---------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return -(-self.n_cores // self.cores_per_node)
+
+    @property
+    def threads_per_node(self) -> int:
+        return min(self.cores_per_node, self.n_cores)
+
+    def node_of_core(self, core: int) -> int:
+        if not 0 <= core < self.n_cores:
+            raise SimConfigError(f"core {core} out of range [0, {self.n_cores})")
+        return core // self.cores_per_node
+
+    @property
+    def effective_ef_search(self) -> int:
+        return self.ef_search if self.ef_search is not None else self.hnsw.ef_search

@@ -1,0 +1,306 @@
+"""The public facade: :class:`DistributedANN`.
+
+``fit(X)`` simulates the distributed construction and materializes the
+router, partitions, and node stores; ``query(Q)`` simulates one batch
+search (master-worker or multiple-owner) and returns the k-NN results with
+a full measurement report.  All times are virtual cluster seconds from the
+simulation; all results are real (computed by the actual index structures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.build import BuildOutput, run_build
+from repro.core.config import SystemConfig
+from repro.core.owner import owner_node_program
+from repro.core.results import GlobalResults
+from repro.core.searcher import LocalSearcher, ModeledSearcher, RealHnswSearcher
+from repro.core.worker import worker_thread_program
+from repro.simmpi.engine import Event, Simulation
+from repro.simmpi.trace import aggregate_stats
+from repro.utils.validation import check_matrix
+
+__all__ = ["DistributedANN", "BuildReport", "SearchReport"]
+
+
+@dataclass
+class BuildReport:
+    """Construction measurements (Table II's quantities)."""
+
+    #: full construction makespan, virtual seconds
+    total_seconds: float
+    #: slowest rank's HNSW-construction phase, virtual seconds
+    hnsw_seconds: float
+    #: slowest rank's VP-partitioning phase, virtual seconds
+    vptree_seconds: float
+    #: replica-distribution phase, virtual seconds (0 when r == 1)
+    replication_seconds: float
+    #: real points per partition
+    partition_sizes: list[int]
+    #: peak per-node resident bytes (replicas included)
+    max_node_bytes: int
+
+
+@dataclass
+class SearchReport:
+    """Batch-search measurements (Figs. 3-5, Table III quantities)."""
+
+    #: total query time, virtual seconds (the paper's headline metric)
+    total_seconds: float
+    #: number of queries in the batch
+    n_queries: int
+    #: tasks dispatched (sum over queries of partition fan-out)
+    tasks: int
+    #: per-core dispatch counts (Fig. 4b's distribution)
+    dispatch_counts: np.ndarray = field(default=None)
+    #: mean partitions visited per query
+    mean_fanout: float = 0.0
+    #: aggregate worker time breakdown {compute, send, recv, wait, poll, rma}
+    worker_breakdown: dict = field(default_factory=dict)
+    #: aggregate master/owner time breakdown
+    master_breakdown: dict = field(default_factory=dict)
+    #: queries per virtual second
+    throughput: float = 0.0
+    #: engine events processed (simulation diagnostics)
+    n_events: int = 0
+    #: per-query completion latencies in virtual seconds (two-sided mode
+    #: only; None when results return one-sided)
+    query_latencies: np.ndarray | None = None
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of summed busy time attributable to communication —
+        the quantity Fig. 5 plots."""
+        w = self.worker_breakdown
+        m = self.master_breakdown
+        comm = sum(w.get(x, 0.0) + m.get(x, 0.0) for x in ("send", "recv", "wait", "poll", "rma"))
+        comp = w.get("compute", 0.0) + m.get("compute", 0.0)
+        total = comm + comp
+        return comm / total if total > 0 else 0.0
+
+
+class DistributedANN:
+    """Distributed VP-partitioned HNSW k-NN search on a simulated cluster.
+
+    Example
+    -------
+    >>> from repro import DistributedANN, SystemConfig
+    >>> import numpy as np
+    >>> X = np.random.default_rng(0).normal(size=(2000, 32)).astype("float32")
+    >>> ann = DistributedANN(SystemConfig(n_cores=4, cores_per_node=2))
+    >>> ann.fit(X)                                        # doctest: +ELLIPSIS
+    BuildReport(...)
+    >>> D, I, report = ann.query(X[:5], k=3)
+    >>> I.shape
+    (5, 3)
+    """
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+        self._build: BuildOutput | None = None
+        self._dim: int | None = None
+
+    # -- construction -----------------------------------------------------------
+
+    def fit(self, X: np.ndarray) -> BuildReport:
+        """Build the distributed index over ``X`` (simulated construction)."""
+        X = check_matrix(X, "X")
+        self._dim = X.shape[1]
+        self._build = run_build(self.config, X)
+        max_node_bytes = max(
+            ns.total_bytes() for ns in self._build.node_stores.values()
+        )
+        return BuildReport(
+            total_seconds=self._build.total_seconds,
+            hnsw_seconds=self._build.hnsw_seconds,
+            vptree_seconds=self._build.vptree_seconds,
+            replication_seconds=self._build.replication_seconds,
+            partition_sizes=self._build.partition_sizes,
+            max_node_bytes=max_node_bytes,
+        )
+
+    @property
+    def router(self):
+        self._require_fitted()
+        return self._build.router
+
+    @property
+    def partitions(self):
+        self._require_fitted()
+        return self._build.partitions
+
+    def _require_fitted(self) -> None:
+        if self._build is None:
+            raise RuntimeError("call fit(X) before querying")
+
+    def _make_searcher(self) -> LocalSearcher:
+        cfg = self.config
+        if cfg.searcher == "real":
+            return RealHnswSearcher(cfg.cost, cfg.effective_ef_search)
+        return ModeledSearcher(
+            cfg.cost,
+            cfg.effective_ef_search,
+            cfg.hnsw.M,
+            self._dim,
+            cfg.modeled_partition_points,
+            metric=cfg.metric,
+            search_seconds=cfg.modeled_search_seconds,
+        )
+
+    # -- search ---------------------------------------------------------------------
+
+    def query(
+        self, Q: np.ndarray, k: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
+        """Batch k-NN search.  Returns (distances, ids, report); rows of the
+        (n_queries, k) outputs are closest-first, padded with inf/-1."""
+        self._require_fitted()
+        cfg = self.config
+        Q = check_matrix(Q, "Q")
+        if Q.shape[1] != self._dim:
+            raise ValueError(f"queries are {Q.shape[1]}-d, index is {self._dim}-d")
+        k = k or cfg.k
+        if cfg.owner_strategy == "multiple":
+            return self._query_multiple_owner(Q, k)
+        return self._query_master_worker(Q, k)
+
+    def _query_master_worker(self, Q, k):
+        return self.query_with_searcher(Q, k, self._make_searcher())
+
+    def query_with_searcher(
+        self, Q: np.ndarray, k: int, searcher: LocalSearcher
+    ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
+        """Batch search with a custom local searcher (the paper's §VI
+        extensibility seam — see :mod:`repro.core.localindex`)."""
+        from repro.core.runner import run_master_worker_search
+
+        self._require_fitted()
+        Q = check_matrix(Q, "Q")
+        build = self._build
+        return run_master_worker_search(
+            self.config,
+            build.router,
+            build.workgroups,
+            build.node_stores,
+            searcher,
+            Q,
+            k,
+        )
+
+    # -- incremental updates ------------------------------------------------------
+
+    def add_points(self, X_new: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        """Insert new points into the fitted index (a practical extension;
+        the paper builds statically).
+
+        Each point is routed through the VP skeleton to its containing
+        partition (the leaf its descent reaches) and inserted into that
+        partition's HNSW index and point store on every replica-holding
+        node.  Partition sizes drift from perfectly balanced — the same
+        behaviour a static VP split would show under inserts.  Returns the
+        assigned global ids.  Only supported with the real searcher.
+        """
+        self._require_fitted()
+        if self.config.searcher != "real":
+            raise RuntimeError("add_points requires searcher='real'")
+        X_new = check_matrix(X_new, "X_new")
+        if X_new.shape[1] != self._dim:
+            raise ValueError(f"new points are {X_new.shape[1]}-d, index is {self._dim}-d")
+        existing_max = max(int(p.ids.max()) if p.n_points else -1 for p in self.partitions.values())
+        if ids is None:
+            ids = np.arange(existing_max + 1, existing_max + 1 + len(X_new), dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if len(ids) != len(X_new):
+                raise ValueError(f"{len(ids)} ids for {len(X_new)} points")
+        router = self._build.router
+        for row, gid in zip(X_new, ids):
+            pid_part = router.route_approx(row, 1)[0]
+            part = self.partitions[pid_part]
+            part.points = np.concatenate([part.points, row[np.newaxis, :]])
+            part.ids = np.concatenate([part.ids, [gid]])
+            part.index.add(row, ext_id=int(gid))
+        return ids
+
+    def _query_multiple_owner(self, Q, k):
+        cfg = self.config
+        sim = Simulation(network=cfg.network, cost=cfg.cost)
+        results = GlobalResults(len(Q), k)
+        searcher = self._make_searcher()
+        build = self._build
+        build.workgroups.reset()
+
+        node_mailboxes = [sim.new_mailbox(f"node{n}") for n in range(cfg.n_nodes)]
+        # owner of query q is node hash(q) = qid % n_nodes (the paper's hash
+        # function is unspecified; modulo over the batch is the natural one)
+        owner_of = np.arange(len(Q)) % cfg.n_nodes
+        owner_pids = []
+        from repro.simmpi.comm import Comm
+
+        owner_comm_holder: list = [None]
+
+        for node in range(cfg.n_nodes):
+            my_queries = np.flatnonzero(owner_of == node)
+
+            def owner(ctx, node=node, my_queries=my_queries):
+                return (
+                    yield from owner_node_program(
+                        ctx,
+                        cfg,
+                        build.router,
+                        build.workgroups,
+                        Q,
+                        my_queries,
+                        results,
+                        node_mailboxes,
+                        owner_comm_holder[0],
+                        searcher,
+                        k,
+                        node_id=node,
+                    )
+                )
+
+            owner_pids.append(sim.add_proc(owner, node=node, name=f"owner_n{node}"))
+        owner_comm_holder[0] = Comm(sim, owner_pids, "owners")
+
+        for node in range(cfg.n_nodes):
+            done = Event()
+            store = build.node_stores[node]
+            for t in range(cfg.threads_per_node):
+                sim.add_proc(
+                    worker_thread_program,
+                    node_mailboxes[node],
+                    store,
+                    searcher,
+                    k,
+                    done,
+                    sim.mailbox_of(owner_pids[node]),  # unused sink for tdone
+                    None,
+                    node=node,
+                    name=f"worker_n{node}_t{t}",
+                )
+
+        out = sim.run()
+        D, I = results.result_arrays()
+        tasks = sum(out.results[p].tasks_sent for p in owner_pids)
+        fanouts = [f for p in owner_pids for f in out.results[p].fanouts]
+        counts = np.sum([out.results[p].dispatch_counts for p in owner_pids], axis=0)
+        report = SearchReport(
+            total_seconds=out.makespan,
+            n_queries=len(Q),
+            tasks=int(tasks),
+            dispatch_counts=counts,
+            mean_fanout=float(np.mean(fanouts)) if fanouts else 0.0,
+            worker_breakdown=aggregate_stats(
+                [s for s in out.stats.values() if s.name.startswith("worker")]
+            ),
+            master_breakdown=aggregate_stats(
+                [s for s in out.stats.values() if s.name.startswith("owner")]
+            ),
+            throughput=len(Q) / out.makespan if out.makespan > 0 else float("inf"),
+            n_events=out.n_events,
+        )
+        return D, I, report

@@ -1,0 +1,176 @@
+"""Master-side search routine (paper Algorithms 3 and 5).
+
+The master routes every query through the VP-tree skeleton to its partition
+set F(q), dispatches one task per (query, partition) to a worker node —
+round-robin over the partition's workgroup when replication is on (Alg. 5)
+— then sends "End of Queries" to every node and collects results:
+
+- two-sided: receives one result message per dispatched task and merges it
+  into :class:`~repro.core.results.GlobalResults` (Alg. 3's update loop);
+- one-sided: does *nothing* per task — workers accumulate straight into
+  the RMA window (Fig. 2) — and only waits for the per-thread completion
+  notifications before reading the window.
+
+Adaptive routing (two-sided only) pipelines two waves per query: a pilot
+task to the nearest partition, then — once the pilot's k-th distance is
+known — an exact ball route for the remaining partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    TAG_END,
+    TAG_RESULT,
+    TAG_TASK,
+    TAG_THREAD_DONE,
+    make_task,
+    task_nbytes,
+)
+from repro.core.replication import Workgroups
+from repro.core.results import GlobalResults
+from repro.simmpi.engine import Context, Mailbox
+from repro.vptree.router import PartitionRouter
+
+__all__ = ["master_program", "MasterReport"]
+
+
+class MasterReport:
+    """What the master learned during one batch (consumed by SearchReport)."""
+
+    def __init__(self, n_cores: int) -> None:
+        self.dispatch_counts = np.zeros(n_cores, dtype=np.int64)
+        self.tasks_sent = 0
+        self.route_dist_evals = 0
+        self.fanouts: list[int] = []
+        #: per-query completion latency (virtual s from batch start to the
+        #: query's last result landing at the master); two-sided mode only —
+        #: in one-sided mode results bypass the master, so per-query
+        #: completion is unobservable there (None)
+        self.query_latencies: np.ndarray | None = None
+
+
+def master_program(
+    ctx: Context,
+    config: SystemConfig,
+    router: PartitionRouter,
+    workgroups: Workgroups,
+    queries: np.ndarray,
+    results: GlobalResults,
+    node_mailboxes: list[Mailbox],
+    window,
+):
+    """The master proc body.  Returns a :class:`MasterReport`."""
+    report = MasterReport(config.n_cores)
+    k = config.k
+    one_sided = window is not None
+    n_threads_total = config.n_nodes * config.threads_per_node
+    batch_start = ctx.now
+    outstanding = np.zeros(len(queries), dtype=np.int64)
+    latencies = np.full(len(queries), np.nan)
+
+    def note_result(query_id: int) -> None:
+        outstanding[query_id] -= 1
+        if outstanding[query_id] == 0:
+            latencies[query_id] = ctx.now - batch_start
+
+    def dispatch(query_id: int, partition_id: int, qvec: np.ndarray):
+        core = workgroups.next_core(partition_id)
+        report.dispatch_counts[core] += 1
+        report.tasks_sent += 1
+        outstanding[query_id] += 1
+        node = config.node_of_core(core)
+        yield from ctx.send_to_mailbox(
+            node_mailboxes[node],
+            make_task(query_id, partition_id, qvec),
+            source=ctx.pid,
+            tag=TAG_TASK,
+            nbytes=task_nbytes(qvec),
+            same_node=False,
+        )
+
+    def route_cost(parts_found_before: int):
+        evals = router.n_dist_evals - parts_found_before
+        report.route_dist_evals += evals
+        return ctx.cost.distance_cost(evals, queries.shape[1])
+
+    if config.routing == "approx":
+        for qid in range(len(queries)):
+            q = queries[qid]
+            before = router.n_dist_evals
+            parts = router.route_approx(q, config.n_probe)
+            yield from ctx.compute(route_cost(before), kind="route")
+            report.fanouts.append(len(parts))
+            for pid_part in parts:
+                yield from dispatch(qid, pid_part, q)
+        expected_results = 0 if one_sided else report.tasks_sent
+    else:  # adaptive, two-sided
+        pending_pilot: dict[int, int] = {}
+        for qid in range(len(queries)):
+            q = queries[qid]
+            before = router.n_dist_evals
+            pilot = router.route_approx(q, 1)[0]
+            yield from ctx.compute(route_cost(before), kind="route")
+            pending_pilot[qid] = pilot
+            yield from dispatch(qid, pilot, q)
+        # every result triggers a merge; a *pilot* result additionally
+        # triggers the second-wave exact route with its k-th distance
+        expected = len(queries)
+        received = 0
+        while received < expected:
+            req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
+            payload = yield from ctx.wait(req)
+            _, qid, d, ids = payload
+            yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
+            results.update(qid, d, ids)
+            note_result(qid)
+            received += 1
+            if qid in pending_pilot:
+                pilot = pending_pilot.pop(qid)
+                tau = float(d[k - 1]) if len(d) >= k else float("inf")
+                if np.isfinite(tau):
+                    before = router.n_dist_evals
+                    parts = [p for p in router.route_exact(queries[qid], tau) if p != pilot]
+                    yield from ctx.compute(route_cost(before), kind="route")
+                else:
+                    parts = [p for p in range(config.n_cores) if p != pilot]
+                report.fanouts.append(len(parts) + 1)
+                for pid_part in parts:
+                    yield from dispatch(qid, pid_part, queries[qid])
+                    expected += 1
+        expected_results = 0  # everything already collected
+
+    # End of Queries to every worker node (Alg. 3 lines 12-14)
+    for node in range(config.n_nodes):
+        yield from ctx.send_to_mailbox(
+            node_mailboxes[node],
+            ("end",),
+            source=ctx.pid,
+            tag=TAG_END,
+            nbytes=8,
+            same_node=False,
+        )
+
+    # collection loop (Alg. 3 lines 15-18)
+    remaining = expected_results
+    while remaining:
+        req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
+        payload = yield from ctx.wait(req)
+        _, qid, d, ids = payload
+        yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
+        results.update(qid, d, ids)
+        note_result(qid)
+        remaining -= 1
+
+    # thread completion notifications: in one-sided mode this is what tells
+    # the master every Get_accumulate has landed; in two-sided mode it
+    # simply drains the exit messages
+    for _ in range(n_threads_total):
+        req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_THREAD_DONE)
+        yield from ctx.wait(req)
+
+    if not one_sided:
+        report.query_latencies = latencies
+    return report

@@ -1,0 +1,46 @@
+"""Wire protocol of the search phase.
+
+Plain tags + tuple payloads; kept in one module so master, workers, and the
+multiple-owner variant agree on the format and tests can build messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "TAG_TASK",
+    "TAG_END",
+    "TAG_RESULT",
+    "TAG_THREAD_DONE",
+    "make_task",
+    "task_nbytes",
+    "make_result",
+    "result_nbytes",
+]
+
+#: master/owner -> worker node: one (query, partition) unit of work
+TAG_TASK = 1
+#: master/owner -> worker node: no more queries (Alg. 3 "End of Queries")
+TAG_END = 2
+#: worker thread -> master/owner: local k-NN result (two-sided path)
+TAG_RESULT = 3
+#: worker thread -> master: thread exited (one-sided completion detection)
+TAG_THREAD_DONE = 4
+
+
+def make_task(query_id: int, partition_id: int, qvec: np.ndarray) -> tuple:
+    return ("task", int(query_id), int(partition_id), qvec)
+
+
+def task_nbytes(qvec: np.ndarray) -> int:
+    # query vector + two ids + header
+    return int(qvec.nbytes) + 24
+
+
+def make_result(query_id: int, dists: np.ndarray, ids: np.ndarray) -> tuple:
+    return ("result", int(query_id), dists, ids)
+
+
+def result_nbytes(dists: np.ndarray, ids: np.ndarray) -> int:
+    return int(dists.nbytes + ids.nbytes) + 16

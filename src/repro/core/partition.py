@@ -1,0 +1,68 @@
+"""Data partitions and per-node partition stores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hnsw.index import HnswIndex
+
+__all__ = ["Partition", "NodeStore"]
+
+
+@dataclass
+class Partition:
+    """One VP-tree leaf: a chunk of the dataset plus its local index.
+
+    ``index`` is None when the system runs with the modeled searcher (the
+    virtual partition is too large to index for real); ``sample`` then
+    holds the small real subsample modeled searches answer from.
+    """
+
+    partition_id: int
+    points: np.ndarray
+    ids: np.ndarray
+    index: HnswIndex | None = None
+    sample: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def n_points(self) -> int:
+        return len(self.ids)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.points.nbytes + self.ids.nbytes)
+
+
+@dataclass
+class NodeStore:
+    """All partitions resident in one compute node's shared memory.
+
+    With replication factor r, a node stores not only the partitions of its
+    own cores but every partition whose workgroup includes one of its cores
+    — that is the memory cost of the load-balancing optimisation the paper
+    calls out, and :meth:`total_bytes` is what the memory-budget check in
+    the engine validates against the node's capacity.
+    """
+
+    node_id: int
+    partitions: dict[int, Partition] = field(default_factory=dict)
+
+    def add(self, partition: Partition) -> None:
+        self.partitions[partition.partition_id] = partition
+
+    def get(self, partition_id: int) -> Partition:
+        try:
+            return self.partitions[partition_id]
+        except KeyError:
+            raise KeyError(
+                f"node {self.node_id} does not hold partition {partition_id}; "
+                f"resident: {sorted(self.partitions)}"
+            ) from None
+
+    def __contains__(self, partition_id: int) -> bool:
+        return partition_id in self.partitions
+
+    def total_bytes(self) -> int:
+        return sum(p.nbytes for p in self.partitions.values())

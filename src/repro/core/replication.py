@@ -1,0 +1,54 @@
+"""Workgroups for replication-based load balancing (paper §IV-C2, Alg. 5).
+
+With replication factor r, partition i's *workgroup* is the r consecutive
+cores ``{p_i, p_(i+1) mod P, ..., p_(i+r-1) mod P}``.  Every node whose
+cores appear in a workgroup loads a replica of that partition, and the
+master dispatches each (query, partition) task to the workgroup's cores in
+round-robin order via a per-group circular ``next`` pointer.
+"""
+
+from __future__ import annotations
+
+from repro.simmpi.errors import SimConfigError
+
+__all__ = ["Workgroups"]
+
+
+class Workgroups:
+    """Round-robin dispatch state over replicated partitions."""
+
+    def __init__(self, n_cores: int, replication_factor: int) -> None:
+        if n_cores < 1:
+            raise SimConfigError(f"n_cores must be >= 1, got {n_cores}")
+        if not 1 <= replication_factor <= n_cores:
+            raise SimConfigError(
+                f"replication_factor must be in [1, {n_cores}], got {replication_factor}"
+            )
+        self.n_cores = n_cores
+        self.r = replication_factor
+        self._groups = [
+            [(i + j) % n_cores for j in range(replication_factor)] for i in range(n_cores)
+        ]
+        self._next = [0] * n_cores
+
+    def cores_for_partition(self, partition_id: int) -> list[int]:
+        """The workgroup W_i (cores holding a replica of partition i)."""
+        return list(self._groups[partition_id])
+
+    def partitions_for_core(self, core: int) -> list[int]:
+        """Partitions replicated onto ``core`` (inverse of the above)."""
+        return sorted(
+            (core - j) % self.n_cores for j in range(self.r)
+        )
+
+    def next_core(self, partition_id: int) -> int:
+        """Round-robin pick from partition_id's workgroup (advances the
+        circular pointer, Alg. 5 lines 10-11)."""
+        group = self._groups[partition_id]
+        core = group[self._next[partition_id]]
+        self._next[partition_id] = (self._next[partition_id] + 1) % len(group)
+        return core
+
+    def reset(self) -> None:
+        """Rewind all circular pointers (between query batches)."""
+        self._next = [0] * self.n_cores

@@ -1,0 +1,115 @@
+"""Search-simulation scaffolding shared by the VP+HNSW system and the
+KD-tree baseline.
+
+Builds one :class:`~repro.simmpi.engine.Simulation` per query batch: a
+master proc, one shared mailbox + thread-pool per compute node, and (in
+one-sided mode) the RMA results window; runs it; and reduces the outcome to
+``(D, I, SearchReport)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.master import MasterReport, master_program
+from repro.core.partition import NodeStore
+from repro.core.replication import Workgroups
+from repro.core.results import GlobalResults
+from repro.core.searcher import LocalSearcher
+from repro.core.worker import worker_thread_program
+from repro.simmpi.engine import Event, Simulation
+from repro.simmpi.rma import Window
+from repro.simmpi.trace import aggregate_stats
+
+__all__ = ["run_master_worker_search"]
+
+
+def run_master_worker_search(
+    config: SystemConfig,
+    router,
+    workgroups: Workgroups,
+    node_stores: dict[int, NodeStore],
+    searcher: LocalSearcher,
+    Q: np.ndarray,
+    k: int,
+):
+    """Simulate one master-worker batch search.  Returns (D, I, report).
+
+    ``router`` must expose ``route_approx(q, n_probe)``, ``route_exact(q,
+    tau)`` and an ``n_dist_evals`` counter — both the VP and the KD
+    partition routers qualify.
+    """
+    from repro.core.engine import SearchReport  # local import to avoid a cycle
+
+    sim = Simulation(network=config.network, cost=config.cost)
+    results = GlobalResults(len(Q), k)
+    workgroups.reset()
+
+    node_mailboxes = [sim.new_mailbox(f"node{n}") for n in range(config.n_nodes)]
+    master_node = config.n_nodes  # the master gets a node of its own
+
+    window_holder: list[Window | None] = [None]
+
+    def master(ctx):
+        return (
+            yield from master_program(
+                ctx,
+                config,
+                router,
+                workgroups,
+                Q,
+                results,
+                node_mailboxes,
+                window_holder[0],
+            )
+        )
+
+    master_pid = sim.add_proc(master, node=master_node, name="master")
+    if config.one_sided:
+        window_holder[0] = Window(
+            owner_pid=master_pid,
+            owner_node=master_node,
+            slots=results,
+            combine=results.combine,
+            name="results",
+        )
+    master_mailbox = sim.mailbox_of(master_pid)
+
+    for node in range(config.n_nodes):
+        done = Event()
+        store = node_stores[node]
+        for t in range(config.threads_per_node):
+            sim.add_proc(
+                worker_thread_program,
+                node_mailboxes[node],
+                store,
+                searcher,
+                k,
+                done,
+                master_mailbox,
+                window_holder[0],
+                node=node,
+                name=f"worker_n{node}_t{t}",
+            )
+
+    out = sim.run()
+    mreport: MasterReport = out.results[master_pid]
+    D, I = results.result_arrays()
+    report = SearchReport(
+        total_seconds=out.makespan,
+        n_queries=len(Q),
+        tasks=mreport.tasks_sent,
+        dispatch_counts=mreport.dispatch_counts,
+        mean_fanout=float(np.mean(mreport.fanouts)) if mreport.fanouts else 0.0,
+        worker_breakdown=aggregate_stats(
+            [s for s in out.stats.values() if s.name.startswith("worker")]
+        ),
+        master_breakdown=aggregate_stats(
+            [s for s in out.stats.values() if s.name == "master"]
+        ),
+        throughput=len(Q) / out.makespan if out.makespan > 0 else float("inf"),
+        n_events=out.n_events,
+        query_latencies=mreport.query_latencies,
+    )
+    return D, I, report

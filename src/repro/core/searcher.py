@@ -1,0 +1,157 @@
+"""Local search strategies executed by worker threads.
+
+``LocalSearcher.search`` returns the local k-NN plus the *virtual seconds*
+the search should cost on one simulated core.  Two implementations:
+
+- :class:`RealHnswSearcher`: searches the partition's real HNSW index,
+  charges exactly the distance evaluations the traversal performed.
+  Results (and therefore recall) are genuine.  Used in fidelity mode.
+- :class:`ModeledSearcher`: charges the analytic HNSW cost for a partition
+  of the *paper-scale* virtual size (e.g. 1B/8192 points) while answering
+  from a small real subsample so result messages carry realistic bytes.
+  Used for the billion-point scaling experiments where indexing the real
+  volume is impossible in this environment (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.metrics import get_metric
+from repro.simmpi.costmodel import CostModel
+
+__all__ = ["LocalSearcher", "RealHnswSearcher", "ModeledSearcher"]
+
+
+class LocalSearcher(Protocol):
+    """Strategy interface: search one partition for one query."""
+
+    def search(
+        self, partition: Partition, query: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Return (distances, global ids, virtual_seconds)."""
+        ...
+
+    def build_seconds(self, partition: Partition) -> float:
+        """Virtual cost of having built this partition's local index."""
+        ...
+
+
+class RealHnswSearcher:
+    """Search the partition's real HNSW index; charge measured evaluations."""
+
+    def __init__(self, cost: CostModel, ef_search: int) -> None:
+        self.cost = cost
+        self.ef_search = ef_search
+
+    def search(
+        self, partition: Partition, query: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        index = partition.index
+        if index is None:
+            raise ValueError(
+                f"partition {partition.partition_id} has no HNSW index; "
+                "was the system built with searcher='modeled'?"
+            )
+        before = index.n_dist_evals
+        d, ids = index.knn_search(query, k, ef=self.ef_search)
+        evals = index.n_dist_evals - before
+        return d, ids, self.cost.distance_cost(evals, index.dim)
+
+    def build_seconds(self, partition: Partition) -> float:
+        index = partition.index
+        if index is None:
+            return 0.0
+        # exact counter value accumulated during this partition's build
+        return self.cost.distance_cost(index.n_dist_evals, index.dim) + self.cost.graph_update_cost(
+            len(index) * index.params.M
+        )
+
+
+class ModeledSearcher:
+    """Charge paper-scale virtual cost; answer from a real subsample.
+
+    ``virtual_points`` is the partition size being modelled (the paper's
+    1B/P).  The subsample search is a brute-force scan of
+    ``partition.sample`` — its own real cost is *not* charged (the virtual
+    cost stands in for the full-scale search).
+    """
+
+    def __init__(
+        self,
+        cost: CostModel,
+        ef_search: int,
+        m: int,
+        dim: int,
+        virtual_points: int,
+        metric: str = "l2",
+        search_seconds: float | None = None,
+    ) -> None:
+        self.cost = cost
+        self.ef_search = ef_search
+        self.m = m
+        self.dim = dim
+        self.virtual_points = virtual_points
+        self.metric = get_metric(metric)
+        self.search_seconds = search_seconds
+
+    def search(
+        self, partition: Partition, query: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        if self.search_seconds is not None:
+            seconds = self.search_seconds
+        else:
+            seconds = self.cost.hnsw_search_cost(
+                self.virtual_points, self.dim, self.ef_search, self.m
+            )
+        if partition.sample is None:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+                seconds,
+            )
+        pts, ids = partition.sample
+        d = self.metric.one_to_many(query, pts)
+        order = np.lexsort((ids, d))[:k]
+        return d[order], ids[order], seconds
+
+    def build_seconds(self, partition: Partition) -> float:
+        return self.cost.hnsw_build_cost(
+            self.virtual_points, self.dim, max(self.ef_search, 100), self.m
+        )
+
+
+class GpuModeledSearcher(ModeledSearcher):
+    """Future-work projection: GPU-accelerated local search (paper §VI).
+
+    The paper proposes exploiting GPUs for local searching as future work.
+    This searcher models a GPU worker with the standard two-term shape:
+    the distance-evaluation work runs ``gpu_speedup`` times faster than the
+    CPU cost model, but every search pays a fixed ``launch_overhead``
+    (kernel launch + PCIe round trip).  Small partitions are therefore
+    launch-bound and *slower* on the GPU — the crossover the projection
+    bench locates.  Everything else (results from the real subsample,
+    message flow) matches :class:`ModeledSearcher`.
+    """
+
+    def __init__(
+        self,
+        *args,
+        gpu_speedup: float = 15.0,
+        launch_overhead: float = 2.0e-5,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if gpu_speedup <= 0:
+            raise ValueError(f"gpu_speedup must be positive, got {gpu_speedup}")
+        if launch_overhead < 0:
+            raise ValueError(f"launch_overhead must be >= 0, got {launch_overhead}")
+        self.gpu_speedup = gpu_speedup
+        self.launch_overhead = launch_overhead
+
+    def search(self, partition: Partition, query: np.ndarray, k: int):
+        d, ids, cpu_seconds = super().search(partition, query, k)
+        return d, ids, self.launch_overhead + cpu_seconds / self.gpu_speedup

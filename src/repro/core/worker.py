@@ -1,0 +1,96 @@
+"""Worker-side search routine (paper Algorithm 4).
+
+One compute node runs ``threads_per_node`` thread procs sharing the node's
+mailbox.  Each thread loops: wait for a message *or* the node's shared
+terminate event; on a task, search the named partition replica with the
+local searcher, charge the search's virtual seconds, and return the result
+either by one-sided ``Get_accumulate`` into the master's window or by a
+point-to-point result message.  The first thread to consume the
+"End of Queries" message sets the shared event; the others wake, cancel
+their outstanding receives, and exit — the same protocol as the paper's
+shared ``Done`` flag, without simulating millions of ``MPI_Test`` polls.
+
+Because all threads of a node pull from one mailbox, dynamic intra-node
+load balancing (§IV-B: "we do not strongly couple a process core with the
+data partition") falls out of the message matching.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import (
+    TAG_RESULT,
+    TAG_THREAD_DONE,
+    make_result,
+    result_nbytes,
+)
+from repro.core.partition import NodeStore
+from repro.core.searcher import LocalSearcher
+from repro.simmpi.engine import ANY_SOURCE, ANY_TAG, Context, Event, Mailbox
+from repro.simmpi.rma import Window
+
+__all__ = ["worker_thread_program"]
+
+
+def worker_thread_program(
+    ctx: Context,
+    node_mailbox: Mailbox,
+    node_store: NodeStore,
+    searcher: LocalSearcher,
+    k: int,
+    done_event: Event,
+    master_mailbox: Mailbox,
+    window: Window | None,
+    reply_tag: int = TAG_RESULT,
+):
+    """One simulated OpenMP thread.  Returns (tasks_processed,)."""
+    one_sided = window is not None
+    if one_sided:
+        yield from window.lock_shared(ctx)
+    processed = 0
+    try:
+        while True:
+            req = yield from ctx.post_recv(node_mailbox, source=ANY_SOURCE, tag=ANY_TAG)
+            fired, payload = yield from ctx.wait_any([req, done_event])
+            if fired == 1:  # terminate flag set by a sibling thread
+                yield from ctx.cancel(req)
+                break
+            kind = payload[0]
+            if kind == "end":
+                yield from ctx.set_event(done_event)
+                break
+            # tasks are ("task", qid, pid, qvec) from the master, or the
+            # 5-tuple variant carrying an explicit reply mailbox from a
+            # multiple-owner dispatcher
+            _, query_id, partition_id, qvec = payload[:4]
+            reply_to = payload[4] if len(payload) > 4 else master_mailbox
+            partition = node_store.get(partition_id)
+            dists, ids, seconds = searcher.search(partition, qvec, k)
+            yield from ctx.compute(seconds, kind="search")
+            processed += 1
+            if one_sided:
+                yield from window.get_accumulate(
+                    ctx, query_id, (dists, ids), nbytes=result_nbytes(dists, ids)
+                )
+            else:
+                yield from ctx.send_to_mailbox(
+                    reply_to,
+                    make_result(query_id, dists, ids),
+                    source=ctx.pid,
+                    tag=reply_tag,
+                    nbytes=result_nbytes(dists, ids),
+                    same_node=False,
+                )
+    finally:
+        if one_sided:
+            yield from window.unlock(ctx)
+    # completion notification (tiny message) so the master can detect that
+    # every one-sided accumulate has landed before reading the window
+    yield from ctx.send_to_mailbox(
+        master_mailbox,
+        ("tdone", ctx.pid, processed),
+        source=ctx.pid,
+        tag=TAG_THREAD_DONE,
+        nbytes=24,
+        same_node=False,
+    )
+    return processed

@@ -1,0 +1,49 @@
+"""Dataset substrate: synthetic analogues of the paper's five datasets.
+
+The paper evaluates on ANN_SIFT1B, DEEP1B, ANN_GIST1M (public descriptor
+corpora) and SYN_1M / SYN_10M (MDCGen).  This environment has no network and
+no room for billion-point corpora, so this package generates reduced-scale
+synthetic analogues that preserve the statistics that matter to the search
+algorithms (clusteredness, dimensionality, norm structure), plus the
+fvecs/bvecs/ivecs file formats those corpora ship in, and exact brute-force
+ground truth for recall measurement.
+"""
+
+from repro.datasets.mdcgen import MDCGenConfig, mdcgen
+from repro.datasets.descriptors import (
+    sift_like,
+    deep_like,
+    gist_like,
+)
+from repro.datasets.queries import cluster_queries, uniform_queries, sample_queries
+from repro.datasets.ground_truth import brute_force_knn
+from repro.datasets.formats import (
+    read_fvecs,
+    write_fvecs,
+    read_ivecs,
+    write_ivecs,
+    read_bvecs,
+    write_bvecs,
+)
+from repro.datasets.catalog import Dataset, DATASET_CATALOG, load_dataset
+
+__all__ = [
+    "MDCGenConfig",
+    "mdcgen",
+    "sift_like",
+    "deep_like",
+    "gist_like",
+    "cluster_queries",
+    "uniform_queries",
+    "sample_queries",
+    "brute_force_knn",
+    "read_fvecs",
+    "write_fvecs",
+    "read_ivecs",
+    "write_ivecs",
+    "read_bvecs",
+    "write_bvecs",
+    "Dataset",
+    "DATASET_CATALOG",
+    "load_dataset",
+]

@@ -1,0 +1,126 @@
+"""Dataset catalog mirroring Table I at reduced scale.
+
+Each entry knows how to synthesize its base vectors, query set, and exact
+ground truth.  Names match the paper; point counts are scaled down by the
+``scale`` argument of :func:`load_dataset` (benchmarks use small scales, the
+simulated-cluster cost model extrapolates per-core work to paper scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.descriptors import deep_like, gist_like, sift_like
+from repro.datasets.ground_truth import brute_force_knn
+from repro.datasets.mdcgen import MDCGenConfig, mdcgen
+from repro.datasets.queries import cluster_queries, sample_queries
+
+__all__ = ["Dataset", "DatasetSpec", "DATASET_CATALOG", "load_dataset"]
+
+
+@dataclass
+class Dataset:
+    """A materialized dataset: base vectors, queries, exact ground truth."""
+
+    name: str
+    X: np.ndarray
+    Q: np.ndarray
+    gt_dists: np.ndarray
+    gt_ids: np.ndarray
+    #: point count of the paper's original corpus (for reporting)
+    paper_n_points: int
+    #: dimension (same as the paper's)
+    dim: int
+
+    @property
+    def n_points(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_queries(self) -> int:
+        return self.Q.shape[0]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    name: str
+    paper_n_points: int
+    dim: int
+    paper_n_queries: int
+    #: (n_points, n_queries, seed) -> (X, Q)
+    generate: Callable[[int, int, int], tuple[np.ndarray, np.ndarray]]
+
+
+def _gen_sift(n: int, nq: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    X = sift_like(n, seed=seed)
+    Q = sample_queries(X, nq, noise_scale=0.05, seed=seed + 1)
+    return X, Q
+
+
+def _gen_deep(n: int, nq: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    X = deep_like(n, seed=seed)
+    Q = sample_queries(X, nq, noise_scale=0.05, seed=seed + 1)
+    # renormalize queries onto the sphere like real DEEP queries
+    norms = np.linalg.norm(Q.astype(np.float64), axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return X, np.ascontiguousarray(Q / norms, dtype=np.float32)
+
+
+def _gen_gist(n: int, nq: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    X = gist_like(n, seed=seed)
+    Q = sample_queries(X, nq, noise_scale=0.05, seed=seed + 1)
+    return X, Q
+
+
+def _gen_syn(dim: int):
+    def gen(n: int, nq: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+        outliers = 0.005  # 5000/1M and 50000/10M in the paper
+        X, labels, centroids = mdcgen(
+            MDCGenConfig(n_points=n, dim=dim, n_clusters=10, outlier_fraction=outliers, seed=seed)
+        )
+        # paper: queries uniform in a single cluster, compactness 0.01
+        Q = cluster_queries(centroids[0], nq, compactness=0.01, seed=seed + 1)
+        return X, Q
+
+    return gen
+
+
+DATASET_CATALOG: dict[str, DatasetSpec] = {
+    "ANN_SIFT1B": DatasetSpec("ANN_SIFT1B", 1_000_000_000, 128, 10_000, _gen_sift),
+    "DEEP1B": DatasetSpec("DEEP1B", 1_000_000_000, 96, 10_000, _gen_deep),
+    "ANN_GIST1M": DatasetSpec("ANN_GIST1M", 1_000_000, 960, 1_000, _gen_gist),
+    "SYN_1M": DatasetSpec("SYN_1M", 1_000_000, 512, 10_000, _gen_syn(512)),
+    "SYN_10M": DatasetSpec("SYN_10M", 10_000_000, 256, 10_000, _gen_syn(256)),
+}
+
+
+def load_dataset(
+    name: str,
+    n_points: int = 20_000,
+    n_queries: int = 200,
+    k: int = 10,
+    seed: int = 0,
+) -> Dataset:
+    """Materialize a reduced-scale analogue of a Table I dataset.
+
+    ``n_points``/``n_queries`` control the reduced scale; ground truth is
+    exact brute force over the generated base vectors.
+    """
+    try:
+        spec = DATASET_CATALOG[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASET_CATALOG)}") from None
+    X, Q = spec.generate(n_points, n_queries, seed)
+    gt_d, gt_i = brute_force_knn(X, Q, k)
+    return Dataset(
+        name=name,
+        X=X,
+        Q=Q,
+        gt_dists=gt_d,
+        gt_ids=gt_i,
+        paper_n_points=spec.paper_n_points,
+        dim=spec.dim,
+    )

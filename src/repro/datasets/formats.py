@@ -1,0 +1,89 @@
+"""Readers and writers for the TEXMEX vector file formats.
+
+ANN_SIFT1B / ANN_GIST1M / DEEP1B ship as ``.fvecs`` (float32), ``.bvecs``
+(uint8) and ``.ivecs`` (int32 — used for ground-truth neighbor ids).  Each
+record is ``<int32 dim><dim elements>``; every record in a file has the same
+dimension.  Supporting these formats means a user with the real corpora can
+feed them straight into this library.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "read_fvecs",
+    "write_fvecs",
+    "read_ivecs",
+    "write_ivecs",
+    "read_bvecs",
+    "write_bvecs",
+]
+
+
+def _read_vecs(path: str | os.PathLike, elem_dtype: np.dtype, limit: int | None) -> np.ndarray:
+    raw = np.fromfile(path, dtype=np.uint8)
+    if raw.size == 0:
+        raise ValueError(f"{path}: empty file")
+    dim = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if dim <= 0:
+        raise ValueError(f"{path}: invalid leading dimension {dim}")
+    elem_size = np.dtype(elem_dtype).itemsize
+    rec_bytes = 4 + dim * elem_size
+    if raw.size % rec_bytes != 0:
+        raise ValueError(
+            f"{path}: file size {raw.size} is not a multiple of record size {rec_bytes}"
+        )
+    n = raw.size // rec_bytes
+    if limit is not None:
+        n = min(n, limit)
+        raw = raw[: n * rec_bytes]
+    recs = raw.reshape(n, rec_bytes)
+    dims = recs[:, :4].copy().view("<i4").ravel()
+    if not np.all(dims == dim):
+        raise ValueError(f"{path}: inconsistent per-record dimensions")
+    body = np.ascontiguousarray(recs[:, 4:])
+    return body.view(np.dtype(elem_dtype).newbyteorder("<")).reshape(n, dim).astype(elem_dtype)
+
+
+def _write_vecs(path: str | os.PathLike, X: np.ndarray, elem_dtype: np.dtype) -> None:
+    X = np.ascontiguousarray(X, dtype=elem_dtype)
+    if X.ndim != 2:
+        raise ValueError(f"expected 2-D array, got shape {X.shape}")
+    n, dim = X.shape
+    elem_size = np.dtype(elem_dtype).itemsize
+    out = np.empty((n, 4 + dim * elem_size), dtype=np.uint8)
+    out[:, :4] = np.frombuffer(
+        np.full(n, dim, dtype="<i4").tobytes(), dtype=np.uint8
+    ).reshape(n, 4)
+    out[:, 4:] = X.view(np.uint8).reshape(n, dim * elem_size)
+    out.tofile(path)
+
+
+def read_fvecs(path: str | os.PathLike, limit: int | None = None) -> np.ndarray:
+    """Read a float32 ``.fvecs`` file into an (n, dim) array."""
+    return _read_vecs(path, np.dtype(np.float32), limit)
+
+
+def write_fvecs(path: str | os.PathLike, X: np.ndarray) -> None:
+    _write_vecs(path, X, np.dtype(np.float32))
+
+
+def read_ivecs(path: str | os.PathLike, limit: int | None = None) -> np.ndarray:
+    """Read an int32 ``.ivecs`` file (e.g. ground-truth neighbor ids)."""
+    return _read_vecs(path, np.dtype(np.int32), limit)
+
+
+def write_ivecs(path: str | os.PathLike, X: np.ndarray) -> None:
+    _write_vecs(path, X, np.dtype(np.int32))
+
+
+def read_bvecs(path: str | os.PathLike, limit: int | None = None) -> np.ndarray:
+    """Read a uint8 ``.bvecs`` file (the SIFT1B base vectors format)."""
+    return _read_vecs(path, np.dtype(np.uint8), limit)
+
+
+def write_bvecs(path: str | os.PathLike, X: np.ndarray) -> None:
+    _write_vecs(path, X, np.dtype(np.uint8))

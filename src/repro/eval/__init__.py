@@ -1,0 +1,24 @@
+"""Evaluation utilities: recall, load distribution, scaling tables.
+
+These compute exactly the quantities the paper's figures and tables report,
+so benchmark output lines up with the evaluation section one-to-one.
+"""
+
+from repro.eval.recall import recall_at_k, per_query_recall
+from repro.eval.load import load_distribution, LoadStats
+from repro.eval.scaling import speedup_table, ScalingRow
+from repro.eval.latency import latency_stats, LatencyStats
+from repro.eval.reporting import format_table, format_histogram
+
+__all__ = [
+    "recall_at_k",
+    "per_query_recall",
+    "load_distribution",
+    "LoadStats",
+    "speedup_table",
+    "ScalingRow",
+    "latency_stats",
+    "LatencyStats",
+    "format_table",
+    "format_histogram",
+]

@@ -1,0 +1,49 @@
+"""Per-query latency statistics.
+
+The paper reports batch totals; per-query latency percentiles are the
+practitioner's complement (tail behaviour under load imbalance).  Only
+measurable in two-sided mode, where each query's last result is observed
+at the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyStats", "latency_stats"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a per-query latency vector (virtual seconds)."""
+
+    n: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    def as_row(self) -> tuple:
+        return (self.n, self.mean, self.p50, self.p90, self.p99, self.max)
+
+
+def latency_stats(latencies: np.ndarray) -> LatencyStats:
+    """Reduce a latency vector (NaNs = unobserved queries are dropped)."""
+    lat = np.asarray(latencies, dtype=np.float64)
+    lat = lat[np.isfinite(lat)]
+    if lat.size == 0:
+        raise ValueError(
+            "no finite latencies — was the batch run one-sided? per-query "
+            "latency needs two-sided results (one_sided=False)"
+        )
+    return LatencyStats(
+        n=int(lat.size),
+        mean=float(lat.mean()),
+        p50=float(np.percentile(lat, 50)),
+        p90=float(np.percentile(lat, 90)),
+        p99=float(np.percentile(lat, 99)),
+        max=float(lat.max()),
+    )

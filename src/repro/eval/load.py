@@ -1,0 +1,54 @@
+"""Load-distribution statistics (Fig. 4b).
+
+Fig. 4b plots, for each replication factor, the distribution of the number
+of queries dispatched to each processing core, against the optimal-balance
+line (total tasks / P).  :func:`load_distribution` reduces a dispatch-count
+vector to the summary statistics the figure visualizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadStats", "load_distribution"]
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Summary of a per-core task-count vector."""
+
+    n_cores: int
+    total_tasks: int
+    min_tasks: int
+    max_tasks: int
+    mean_tasks: float
+    std_tasks: float
+    #: max/mean — 1.0 is perfect balance; the straggler factor that bounds
+    #: the batch makespan
+    imbalance: float
+    #: ideal tasks per core (Fig. 4b's red dotted line)
+    optimal: float
+
+    def spread(self) -> int:
+        """max - min, the 'compactness' Fig. 4b shows shrinking with r."""
+        return self.max_tasks - self.min_tasks
+
+
+def load_distribution(dispatch_counts: np.ndarray) -> LoadStats:
+    counts = np.asarray(dispatch_counts, dtype=np.int64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError(f"dispatch_counts must be a non-empty 1-D vector, got {counts.shape}")
+    total = int(counts.sum())
+    mean = total / counts.size
+    return LoadStats(
+        n_cores=counts.size,
+        total_tasks=total,
+        min_tasks=int(counts.min()),
+        max_tasks=int(counts.max()),
+        mean_tasks=float(mean),
+        std_tasks=float(counts.std()),
+        imbalance=float(counts.max() / mean) if mean > 0 else float("inf"),
+        optimal=float(mean),
+    )

@@ -1,0 +1,60 @@
+"""Recall measurement (paper §V-D).
+
+"Recall is defined as the ratio of the number of true k-nearest neighbors
+in the result of the approximate search to k."  Ground-truth distance ties
+are honored: a returned id counts as correct if its true distance does not
+exceed the k-th ground-truth distance, so alternative orderings of
+equidistant neighbors are not penalized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["per_query_recall", "recall_at_k"]
+
+
+def per_query_recall(
+    result_ids: np.ndarray,
+    gt_ids: np.ndarray,
+    gt_dists: np.ndarray | None = None,
+    result_dists: np.ndarray | None = None,
+) -> np.ndarray:
+    """Recall of each query; inputs are (n_queries, k) id matrices.
+
+    When both distance matrices are given, ties at the k-th ground-truth
+    distance are accepted even if the specific ids differ.
+    """
+    result_ids = np.asarray(result_ids)
+    gt_ids = np.asarray(gt_ids)
+    if result_ids.shape[0] != gt_ids.shape[0]:
+        raise ValueError(
+            f"{result_ids.shape[0]} result rows vs {gt_ids.shape[0]} ground-truth rows"
+        )
+    k = gt_ids.shape[1]
+    out = np.empty(result_ids.shape[0], dtype=np.float64)
+    for i in range(result_ids.shape[0]):
+        res = set(int(x) for x in result_ids[i] if x >= 0)
+        true = set(int(x) for x in gt_ids[i])
+        hits = len(res & true)
+        if gt_dists is not None and result_dists is not None:
+            # accept equidistant substitutes for the k-th neighbor
+            kth = gt_dists[i, k - 1]
+            for j, rid in enumerate(result_ids[i]):
+                if rid >= 0 and int(rid) not in true and result_dists[i, j] <= kth + 1e-9:
+                    hits += 1
+            hits = min(hits, k)
+        out[i] = hits / k
+    return out
+
+
+def recall_at_k(
+    result_ids: np.ndarray,
+    gt_ids: np.ndarray,
+    gt_dists: np.ndarray | None = None,
+    result_dists: np.ndarray | None = None,
+) -> float:
+    """Mean recall over the batch (the number the paper reports)."""
+    return float(
+        per_query_recall(result_ids, gt_ids, gt_dists, result_dists).mean()
+    )

@@ -1,0 +1,46 @@
+"""Plain-text tables and histograms for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures show;
+these helpers keep that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_histogram"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.rjust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    values: np.ndarray, bins: int = 10, width: int = 40, title: str = ""
+) -> str:
+    """ASCII histogram (used for the Fig. 4b query-count distributions)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return f"{title}\n(empty)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * max(1 if c else 0, round(c / peak * width))
+        lines.append(f"[{lo:10.2f}, {hi:10.2f}) {c:6d} {bar}")
+    return "\n".join(lines)

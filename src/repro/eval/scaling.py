@@ -1,0 +1,48 @@
+"""Strong-scaling tables (Fig. 3).
+
+The paper normalizes speedups to the smallest core count measured (32 for
+the SYN datasets, 256 for the billion-scale ones) and plots speedup against
+cores.  :func:`speedup_table` converts (cores, seconds) measurements into
+that table, with parallel efficiency for the linearity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScalingRow", "speedup_table"]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    cores: int
+    seconds: float
+    speedup: float
+    #: speedup / (cores / base_cores); 1.0 = perfectly linear
+    efficiency: float
+
+
+def speedup_table(measurements: list[tuple[int, float]]) -> list[ScalingRow]:
+    """Normalize (cores, seconds) pairs to the smallest core count.
+
+    Input order is irrelevant; output is sorted by cores ascending.
+    """
+    if not measurements:
+        raise ValueError("no measurements")
+    meas = sorted(measurements)
+    base_cores, base_seconds = meas[0]
+    if base_seconds <= 0:
+        raise ValueError(f"non-positive base time {base_seconds}")
+    rows = []
+    for cores, seconds in meas:
+        speedup = base_seconds / seconds if seconds > 0 else float("inf")
+        ideal = cores / base_cores
+        rows.append(
+            ScalingRow(
+                cores=cores,
+                seconds=seconds,
+                speedup=speedup,
+                efficiency=speedup / ideal,
+            )
+        )
+    return rows

@@ -1,0 +1,69 @@
+"""Neighbor-selection strategies for HNSW construction.
+
+Two strategies from the HNSW paper:
+
+- ``select_simple``: keep the M closest candidates (paper Alg. 3).
+- ``select_heuristic``: the diversity heuristic (paper Alg. 4) — a candidate
+  is kept only if it is closer to the inserted point than to every
+  already-kept neighbor.  This spreads links across directions, which is
+  what preserves graph navigability on clustered data; without it recall
+  collapses on datasets with strong cluster structure (exactly the
+  descriptor corpora used here).
+
+The heuristic takes a precomputed candidate-to-candidate distance matrix
+rather than a distance callback: selection runs ~50k times per build, and
+one vectorized pairwise evaluation per call is an order of magnitude faster
+than the per-comparison kernel calls it replaces (profiling-driven; see the
+build benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["select_simple", "select_heuristic"]
+
+
+def select_simple(
+    candidates: list[tuple[float, int]], m: int
+) -> list[tuple[float, int]]:
+    """Closest-``m`` selection.  ``candidates`` are (distance, id) pairs."""
+    return sorted(candidates)[:m]
+
+
+def select_heuristic(
+    candidates: list[tuple[float, int]],
+    m: int,
+    cross: np.ndarray,
+    keep_pruned: bool = True,
+) -> list[tuple[float, int]]:
+    """Diversity-aware selection (HNSW paper, Algorithm 4).
+
+    ``candidates`` must be sorted ascending by distance-to-query.
+    ``cross[i, j]`` is the distance between candidates ``i`` and ``j`` (in
+    the same order as ``candidates``).  A candidate is kept iff it is closer
+    to the query than to every already-kept candidate; if ``keep_pruned``,
+    discarded candidates backfill the result up to ``m``.
+    """
+    n = len(candidates)
+    if cross.shape != (n, n):
+        raise ValueError(f"cross matrix shape {cross.shape} does not match {n} candidates")
+    # min_to_kept[i] = min distance from candidate i to any kept candidate;
+    # maintained incrementally with one vectorized np.minimum per kept
+    # neighbor instead of a reduction per candidate (hot path: this function
+    # runs once per link overflow, ~n_points * M times per build).
+    min_to_kept = np.full(n, np.inf)
+    result: list[tuple[float, int]] = []
+    discarded: list[tuple[float, int]] = []
+    for i, (dist_q, cand) in enumerate(candidates):
+        if len(result) >= m:
+            break
+        if not result or dist_q < min_to_kept[i]:
+            result.append((dist_q, cand))
+            np.minimum(min_to_kept, cross[i], out=min_to_kept)
+        else:
+            discarded.append((dist_q, cand))
+    if keep_pruned and len(result) < m and discarded:
+        result.extend(discarded[: m - len(result)])
+        result.sort()
+    return result

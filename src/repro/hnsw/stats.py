@@ -1,0 +1,68 @@
+"""Graph diagnostics for HNSW indexes.
+
+Used by tests (connectivity and degree invariants) and by the ablation
+benches (how M changes the graph, which explains the Fig. 6 trade-off).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.hnsw.index import HnswIndex
+
+__all__ = ["graph_stats", "layer_connectivity"]
+
+
+def graph_stats(index: HnswIndex) -> dict:
+    """Per-layer summary: node counts, mean/max out-degree, link symmetry."""
+    layers = []
+    for lv in range(index.max_level + 1):
+        layer = index._links[lv]
+        degrees = np.array([len(v) for v in layer.values()], dtype=np.int64)
+        asym = 0
+        for node, nbrs in layer.items():
+            for nb in nbrs:
+                if node not in layer.get(nb, ()):
+                    asym += 1
+        layers.append(
+            {
+                "level": lv,
+                "n_nodes": len(layer),
+                "mean_degree": float(degrees.mean()) if len(degrees) else 0.0,
+                "max_degree": int(degrees.max()) if len(degrees) else 0,
+                "asymmetric_links": asym,
+            }
+        )
+    return {
+        "n_points": len(index),
+        "max_level": index.max_level,
+        "entry_point": index.entry_point,
+        "layers": layers,
+    }
+
+
+def layer_connectivity(index: HnswIndex, level: int = 0) -> float:
+    """Fraction of the layer reachable from the entry point by BFS.
+
+    Search correctness depends on this being ~1.0 at layer 0: any
+    unreachable island can never be returned by a graph search.
+    """
+    if len(index) == 0:
+        return 1.0
+    layer = index._links[level]
+    if not layer:
+        return 0.0
+    start = index.entry_point
+    if start not in layer:
+        start = next(iter(layer))
+    seen = {start}
+    dq = deque([start])
+    while dq:
+        u = dq.popleft()
+        for v in layer.get(u, ()):
+            if v not in seen:
+                seen.add(v)
+                dq.append(v)
+    return len(seen) / len(layer)

@@ -1,0 +1,34 @@
+"""KD-trees: the exact baseline (PANDA, Patwary et al., IPDPS 2016).
+
+Table III compares the paper's VP+HNSW system against "a completely k-d
+tree-based solution" — a distributed KD-tree whose partitions are searched
+exactly.  This package provides:
+
+- :class:`~repro.kdtree.tree.KDTree` — serial bucket-leaf KD-tree with
+  exact bounded k-NN search (median split on the widest-spread dimension,
+  SIMD-style vectorized bucket scans);
+- :class:`~repro.kdtree.router.KDPartitionRouter` — axis-aligned partition
+  routing for the master;
+- :func:`~repro.kdtree.distributed.distributed_build_kd` — PANDA-style
+  distributed construction mirroring the VP version (coordinate-median
+  splits, alltoallv shuffles, recursive communicator halving).
+
+The known failure mode this baseline demonstrates: in high dimensions the
+query ball intersects nearly every axis-aligned cell, so exact search must
+visit most partitions/leaves — "the number of tree-nodes and hence
+processors visited by the k-NN search routine explodes" (paper §II).
+"""
+
+from repro.kdtree.tree import KDTree
+from repro.kdtree.router import KDPartitionRouter, KDRouteNode
+from repro.kdtree.distributed import distributed_build_kd
+from repro.kdtree.system import KDBaselineSystem, KDExactSearcher
+
+__all__ = [
+    "KDTree",
+    "KDPartitionRouter",
+    "KDRouteNode",
+    "distributed_build_kd",
+    "KDBaselineSystem",
+    "KDExactSearcher",
+]

@@ -1,0 +1,13 @@
+"""Locality-sensitive hashing: the third approximate-ANN family of §II.
+
+The paper's related work lists three approximate approaches: LSH [9],
+product quantization [10], and proximity graphs [11] (its choice).  With
+:mod:`repro.pq` covering quantization and :mod:`repro.hnsw` the graphs,
+this package completes the set with a classic multi-table random-projection
+LSH index, so the three families can be compared head-to-head inside the
+same harness (``benchmarks/test_ablation_index_families.py``).
+"""
+
+from repro.lsh.index import LSHIndex
+
+__all__ = ["LSHIndex"]

@@ -1,0 +1,33 @@
+"""Distance metrics for metric-space search.
+
+The VP-tree requires a true metric (triangle inequality); HNSW works with any
+dissimilarity.  All metrics expose three vectorized entry points:
+
+- ``pair(a, b)``        — scalar distance between two vectors,
+- ``one_to_many(q, X)`` — distances from one query to every row of ``X``,
+- ``pairwise(A, B)``    — full distance matrix (used by ground truth).
+
+Use :func:`get_metric` to resolve a metric by name.
+"""
+
+from repro.metrics.base import Metric, get_metric, register_metric, available_metrics
+from repro.metrics.lp import (
+    EuclideanMetric,
+    SquaredEuclidean,
+    ManhattanMetric,
+    ChebyshevMetric,
+)
+from repro.metrics.angular import CosineDistance, InnerProductDissimilarity
+
+__all__ = [
+    "Metric",
+    "get_metric",
+    "register_metric",
+    "available_metrics",
+    "EuclideanMetric",
+    "SquaredEuclidean",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "CosineDistance",
+    "InnerProductDissimilarity",
+]

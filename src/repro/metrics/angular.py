@@ -1,0 +1,62 @@
+"""Angular dissimilarities (cosine, inner product).
+
+DEEP1B descriptors are unit-normalized CNN features; cosine distance on them
+coincides with a monotone transform of L2.  These are not true metrics, so
+they are only legal for HNSW local indexes, not for VP-tree routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import Metric, register_metric
+
+__all__ = ["CosineDistance", "InnerProductDissimilarity"]
+
+_EPS = 1e-30
+
+
+@register_metric
+class CosineDistance(Metric):
+    """1 - cos(a, b).  Range [0, 2]."""
+
+    name = "cosine"
+    is_true_metric = False
+
+    def pair(self, a: np.ndarray, b: np.ndarray) -> float:
+        a = np.asarray(a, np.float64)
+        b = np.asarray(b, np.float64)
+        na = np.sqrt(a @ a) + _EPS
+        nb = np.sqrt(b @ b) + _EPS
+        return float(1.0 - (a @ b) / (na * nb))
+
+    def one_to_many(self, q: np.ndarray, X: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, np.float64)
+        X = np.asarray(X, np.float64)
+        nq = np.sqrt(q @ q) + _EPS
+        nx = np.sqrt(np.einsum("ij,ij->i", X, X)) + _EPS
+        return 1.0 - (X @ q) / (nx * nq)
+
+    def pairwise(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.asarray(A, np.float64)
+        B = np.asarray(B, np.float64)
+        na = np.sqrt(np.einsum("ij,ij->i", A, A)) + _EPS
+        nb = np.sqrt(np.einsum("ij,ij->i", B, B)) + _EPS
+        return 1.0 - (A @ B.T) / np.outer(na, nb)
+
+
+@register_metric
+class InnerProductDissimilarity(Metric):
+    """Negative inner product, for maximum-inner-product search."""
+
+    name = "ip"
+    is_true_metric = False
+
+    def pair(self, a: np.ndarray, b: np.ndarray) -> float:
+        return float(-(np.asarray(a, np.float64) @ np.asarray(b, np.float64)))
+
+    def one_to_many(self, q: np.ndarray, X: np.ndarray) -> np.ndarray:
+        return -(np.asarray(X, np.float64) @ np.asarray(q, np.float64))
+
+    def pairwise(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        return -(np.asarray(A, np.float64) @ np.asarray(B, np.float64).T)

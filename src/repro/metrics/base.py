@@ -1,0 +1,71 @@
+"""Metric protocol and registry."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Metric", "register_metric", "get_metric", "available_metrics"]
+
+
+class Metric(abc.ABC):
+    """A dissimilarity on R^d.
+
+    ``is_true_metric`` declares whether the triangle inequality holds — the
+    VP-tree's pruning rule is only valid for true metrics, and the tree
+    constructor enforces this flag.
+    """
+
+    #: registry name; subclasses set this
+    name: str = ""
+    #: whether the triangle inequality holds
+    is_true_metric: bool = True
+
+    @abc.abstractmethod
+    def pair(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Distance between two 1-D vectors."""
+
+    @abc.abstractmethod
+    def one_to_many(self, q: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Distances from ``q`` (1-D) to each row of ``X`` (2-D)."""
+
+    def pairwise(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """(len(A), len(B)) distance matrix.  Default: row loop over
+        :meth:`one_to_many`; subclasses override with a blocked kernel."""
+        out = np.empty((A.shape[0], B.shape[0]), dtype=np.float64)
+        for i in range(A.shape[0]):
+            out[i] = self.one_to_many(A[i], B)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, type[Metric]] = {}
+
+
+def register_metric(cls: type[Metric]) -> type[Metric]:
+    """Class decorator adding a metric to the by-name registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty .name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"metric name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_metric(name: str | Metric) -> Metric:
+    """Resolve a metric instance from a name (or pass an instance through)."""
+    if isinstance(name, Metric):
+        return name
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_metrics() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,23 @@
+"""Product quantization and IVF-PQ: the compressed-index comparators.
+
+The paper's related-work section (§II) contrasts its uncompressed
+distributed index with single-node *compressed* billion-scale indexes
+(IVF + PQ codebooks [13], polysemous codes [14], GRIP [15]) and claims
+(§V-F) that "compression methods ... cannot achieve near perfect recalls"
+— recall plateaus as the quantization error floors the distance estimates.
+This package implements that comparator class from scratch so the claim
+can be measured:
+
+- :class:`~repro.pq.quantizer.ProductQuantizer` — splits vectors into M
+  sub-vectors, trains one k-means codebook per subspace, encodes vectors
+  as M uint8 codes, and evaluates asymmetric distances (ADC) with
+  per-query lookup tables.
+- :class:`~repro.pq.ivfpq.IVFPQIndex` — inverted-file index over a coarse
+  k-means quantizer with PQ-encoded residual-free lists; query = probe the
+  ``n_probe`` nearest cells and rank by ADC.
+"""
+
+from repro.pq.quantizer import ProductQuantizer
+from repro.pq.ivfpq import IVFPQIndex
+
+__all__ = ["ProductQuantizer", "IVFPQIndex"]

@@ -1,0 +1,136 @@
+"""Product quantizer (Jégou, Douze & Schmid, TPAMI 2011).
+
+A vector x in R^d is split into ``n_subspaces`` contiguous sub-vectors;
+each subspace has a k-means codebook of ``n_centroids`` (<= 256 so codes
+are uint8).  Encoding maps x to its per-subspace nearest centroids;
+asymmetric distance computation (ADC) estimates ||q - x||^2 as the sum of
+precomputed (query-subvector -> centroid) table entries — one table lookup
+per subspace per database code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import KMeans
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["ProductQuantizer"]
+
+
+class ProductQuantizer:
+    """Train/encode/decode/ADC for product quantization.
+
+    Parameters
+    ----------
+    n_subspaces:
+        M — number of sub-vectors (must divide the dimension).
+    n_centroids:
+        k* — codebook size per subspace (<= 256).
+    """
+
+    def __init__(self, n_subspaces: int = 8, n_centroids: int = 256, seed: int = 0):
+        check_positive_int(n_subspaces, "n_subspaces")
+        check_positive_int(n_centroids, "n_centroids")
+        if n_centroids > 256:
+            raise ValueError(f"n_centroids must be <= 256 for uint8 codes, got {n_centroids}")
+        self.n_subspaces = n_subspaces
+        self.n_centroids = n_centroids
+        self.seed = seed
+        #: (n_subspaces, n_centroids, sub_dim) after fit
+        self.codebooks: np.ndarray | None = None
+        self.dim: int | None = None
+
+    @property
+    def sub_dim(self) -> int:
+        if self.dim is None:
+            raise RuntimeError("fit before accessing sub_dim")
+        return self.dim // self.n_subspaces
+
+    def _check_fitted(self) -> None:
+        if self.codebooks is None:
+            raise RuntimeError("ProductQuantizer must be fit before use")
+
+    def fit(self, X: np.ndarray) -> "ProductQuantizer":
+        X = check_matrix(X, "X")
+        if X.shape[1] % self.n_subspaces != 0:
+            raise ValueError(
+                f"dim {X.shape[1]} not divisible by n_subspaces {self.n_subspaces}"
+            )
+        if X.shape[0] < self.n_centroids:
+            raise ValueError(
+                f"{X.shape[0]} training points < {self.n_centroids} centroids"
+            )
+        self.dim = X.shape[1]
+        sd = self.sub_dim
+        books = np.empty((self.n_subspaces, self.n_centroids, sd), dtype=np.float32)
+        for m in range(self.n_subspaces):
+            km = KMeans(self.n_centroids, max_iter=25, seed=self.seed + m)
+            km.fit(X[:, m * sd : (m + 1) * sd])
+            books[m] = km.centroids.astype(np.float32)
+        self.codebooks = books
+        return self
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """(n, n_subspaces) uint8 codes."""
+        self._check_fitted()
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {X.shape[1]}")
+        sd = self.sub_dim
+        codes = np.empty((X.shape[0], self.n_subspaces), dtype=np.uint8)
+        for m in range(self.n_subspaces):
+            sub = X[:, m * sd : (m + 1) * sd].astype(np.float64)
+            book = self.codebooks[m].astype(np.float64)
+            d = (
+                np.einsum("ij,ij->i", sub, sub)[:, None]
+                - 2.0 * sub @ book.T
+                + np.einsum("ij,ij->i", book, book)[None, :]
+            )
+            codes[:, m] = np.argmin(d, axis=1).astype(np.uint8)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct (approximate) vectors from codes."""
+        self._check_fitted()
+        codes = np.asarray(codes)
+        out = np.empty((codes.shape[0], self.dim), dtype=np.float32)
+        sd = self.sub_dim
+        for m in range(self.n_subspaces):
+            out[:, m * sd : (m + 1) * sd] = self.codebooks[m][codes[:, m]]
+        return out
+
+    def adc_table(self, query: np.ndarray) -> np.ndarray:
+        """(n_subspaces, n_centroids) table of squared sub-distances."""
+        self._check_fitted()
+        q = np.asarray(query, dtype=np.float64).ravel()
+        if q.shape[0] != self.dim:
+            raise ValueError(f"query dim {q.shape[0]} != {self.dim}")
+        sd = self.sub_dim
+        table = np.empty((self.n_subspaces, self.n_centroids), dtype=np.float64)
+        for m in range(self.n_subspaces):
+            diff = self.codebooks[m].astype(np.float64) - q[m * sd : (m + 1) * sd]
+            table[m] = np.einsum("ij,ij->i", diff, diff)
+        return table
+
+    def adc_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Estimated squared L2 distances from ``query`` to coded vectors."""
+        table = self.adc_table(query)
+        codes = np.asarray(codes)
+        # gather one table entry per (vector, subspace) and sum
+        return table[np.arange(self.n_subspaces)[None, :], codes.astype(np.int64)].sum(axis=1)
+
+    def quantization_error(self, X: np.ndarray) -> float:
+        """Mean squared reconstruction error — the recall-plateau floor."""
+        X = check_matrix(X, "X")
+        rec = self.decode(self.encode(X))
+        return float(((X - rec) ** 2).sum(axis=1).mean())
+
+    @property
+    def bits_per_vector(self) -> int:
+        return self.n_subspaces * 8
+
+    def compression_ratio(self) -> float:
+        """float32 bytes per vector / code bytes per vector."""
+        self._check_fitted()
+        return (self.dim * 4) / self.n_subspaces

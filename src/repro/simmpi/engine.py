@@ -1,0 +1,727 @@
+"""Discrete-event engine: procs, mailboxes, requests, events, scheduler.
+
+A *proc* is one simulated execution context — an MPI rank or one OpenMP
+thread inside a rank.  Proc code is a generator function taking a
+:class:`Context`; every timed interaction is performed with ``yield from``
+on a Context/Comm helper, which ultimately yields a syscall object that the
+engine services.
+
+Scheduling rule: always resume the runnable proc with the smallest virtual
+clock (ties broken by an insertion sequence number).  Because every syscall
+returns control to the scheduler, a proc never "runs ahead" and sends a
+message into another proc's past — which keeps tag/source matching causally
+consistent and the whole simulation deterministic for a fixed seed.
+
+Blocking primitives:
+
+- ``wait(request)``     — block until a posted receive matches,
+- ``wait_any(waitables)`` — block until any of several requests/events
+  completes (this is how worker threads wait for "a query *or* the
+  terminate flag", replacing the paper's MPI_Test busy-poll loop with an
+  equivalent that does not need millions of simulated poll iterations),
+- ``test(request)``     — non-blocking completion check; charges the
+  network model's poll cost so code that *does* poll pays for it,
+- collectives and RMA — see :mod:`repro.simmpi.comm` / :mod:`~repro.simmpi.rma`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.errors import DeadlockError, SimConfigError, SimError
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.trace import ProcStats
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Context",
+    "Event",
+    "Mailbox",
+    "Request",
+    "Simulation",
+    "SimulationResult",
+    "payload_nbytes",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+def _tag_matches(pattern, tag) -> bool:
+    """Tag matching with wildcard support inside tuple tags.
+
+    The comm layer namespaces user tags as ``(comm_id, user_tag)``; a
+    receive for "any tag on this comm" uses ``(comm_id, ANY_TAG)``, so
+    tuple patterns are compared elementwise with ``ANY_TAG`` as a
+    per-element wildcard.
+    """
+    if pattern == ANY_TAG:
+        return True
+    if isinstance(pattern, tuple) and isinstance(tag, tuple) and len(pattern) == len(tag):
+        return all(p == ANY_TAG or p == t for p, t in zip(pattern, tag))
+    return pattern == tag
+
+
+_RUNNABLE = "runnable"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of a message payload.
+
+    NumPy arrays report their true buffer size; containers recurse; other
+    scalars get a small fixed pickle-ish overhead.  Callers that know the
+    exact size pass ``nbytes`` explicitly instead.
+    """
+    if obj is None:
+        return 8
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + 96
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj) + 32
+    if isinstance(obj, (tuple, list)):
+        return 16 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 32 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, str):
+        return len(obj) + 40
+    return 32
+
+
+# --------------------------------------------------------------------------
+# Syscall objects (internal protocol between proc generators and the engine)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Compute:
+    seconds: float
+    kind: str = "compute"
+
+
+@dataclass
+class _SendMsg:
+    mailbox: "Mailbox"
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+    same_node: bool
+
+
+@dataclass
+class _RecvPost:
+    mailbox: "Mailbox"
+    source: int
+    tag: int
+
+
+@dataclass
+class _Wait:
+    request: "Request"
+
+
+@dataclass
+class _WaitAny:
+    waitables: list
+
+
+@dataclass
+class _Test:
+    request: "Request"
+
+
+@dataclass
+class _Cancel:
+    request: "Request"
+
+
+@dataclass
+class _EventSet:
+    event: "Event"
+
+
+@dataclass
+class _CollectiveCall:
+    key: tuple
+    members: tuple
+    data: Any
+    #: complete(arrivals: {pid: (clock, data)}) -> {pid: (finish_time, result)}
+    complete: Callable[[dict], dict]
+
+
+@dataclass
+class _RmaOp:
+    seconds: float
+    apply: Callable[[], Any]
+    nbytes: int
+
+
+# --------------------------------------------------------------------------
+# Waitables
+# --------------------------------------------------------------------------
+
+
+class Request:
+    """Handle for a posted non-blocking receive (or internal completion)."""
+
+    __slots__ = (
+        "done",
+        "completion_time",
+        "payload",
+        "source",
+        "tag",
+        "cancelled",
+        "_mailbox",
+        "_match_source",
+        "_match_tag",
+        "_waiter",
+        "post_time",
+    )
+
+    def __init__(self, mailbox: "Mailbox", source: int, tag: int, post_time: float):
+        self.done = False
+        self.cancelled = False
+        self.completion_time = float("inf")
+        self.payload: Any = None
+        self.source: int | None = None
+        self.tag: int | None = None
+        self._mailbox = mailbox
+        self._match_source = source
+        self._match_tag = tag
+        self._waiter: _Proc | None = None
+        self.post_time = post_time
+
+    def _matches(self, source: int, tag) -> bool:
+        if self._match_source not in (ANY_SOURCE, source):
+            return False
+        return _tag_matches(self._match_tag, tag)
+
+    def _complete(self, msg: "_Message") -> None:
+        self.done = True
+        self.completion_time = max(self.post_time, msg.arrival)
+        self.payload = msg.payload
+        self.source = msg.source
+        self.tag = msg.tag
+
+
+class Event:
+    """A one-shot condition flag (simulated condition variable).
+
+    Models the shared "Done" flag of Algorithm 4: one thread sets it, every
+    thread blocked in ``wait_any`` on it wakes at the set time.
+    """
+
+    __slots__ = ("done", "set_time", "_waiters")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.set_time = float("inf")
+        self._waiters: list[_Proc] = []
+
+
+@dataclass
+class _Message:
+    arrival: float
+    seq: int
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+
+class Mailbox:
+    """A message queue with MPI matching semantics.
+
+    One mailbox per MPI rank; worker threads of one rank share their rank's
+    mailbox, which is what gives the paper's dynamic intra-node work
+    pulling.
+    """
+
+    __slots__ = ("name", "_queue", "_pending")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._queue: deque[_Message] = deque()
+        self._pending: list[Request] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mailbox({self.name!r}, queued={len(self._queue)})"
+
+
+# --------------------------------------------------------------------------
+# Proc & context
+# --------------------------------------------------------------------------
+
+
+class _Proc:
+    __slots__ = (
+        "pid",
+        "name",
+        "node",
+        "gen",
+        "mailbox",
+        "clock",
+        "state",
+        "sendval",
+        "result",
+        "stats",
+        "heap_token",
+        "_block_start",
+        "_wait_entries",
+    )
+
+    def __init__(self, pid: int, name: str, node: int, mailbox: Mailbox):
+        self.pid = pid
+        self.name = name
+        self.node = node
+        self.mailbox = mailbox
+        self.gen: Generator | None = None
+        self.clock = 0.0
+        self.state = _RUNNABLE
+        self.sendval: Any = None
+        self.result: Any = None
+        self.stats = ProcStats(name=name)
+        self.heap_token = 0
+        self._block_start = 0.0
+        self._wait_entries: list = []
+
+
+class Context:
+    """Per-proc API surface handed to proc generator functions."""
+
+    def __init__(self, sim: "Simulation", proc: _Proc):
+        self._sim = sim
+        self._proc = proc
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        return self._proc.pid
+
+    @property
+    def name(self) -> str:
+        return self._proc.name
+
+    @property
+    def node(self) -> int:
+        return self._proc.node
+
+    @property
+    def mailbox(self) -> "Mailbox":
+        """This proc's own mailbox (shared with siblings if so created)."""
+        return self._proc.mailbox
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of this proc."""
+        return self._proc.clock
+
+    @property
+    def cost(self) -> CostModel:
+        return self._sim.cost
+
+    @property
+    def network(self) -> NetworkModel:
+        return self._sim.network
+
+    # -- computation -------------------------------------------------------
+
+    def compute(self, seconds: float, kind: str = "compute"):
+        """Charge ``seconds`` of virtual computation time."""
+        if seconds < 0:
+            raise SimError(f"negative compute time {seconds}")
+        yield _Compute(float(seconds), kind)
+
+    def charge_distances(self, n_evals: int, dim: int, kind: str = "compute"):
+        """Charge the cost-model time of ``n_evals`` distance evaluations."""
+        yield _Compute(self._sim.cost.distance_cost(int(n_evals), int(dim)), kind)
+
+    # -- events --------------------------------------------------------------
+
+    def make_event(self) -> Event:
+        return Event()
+
+    def set_event(self, event: Event):
+        yield _EventSet(event)
+
+    # -- low-level messaging (Comm builds on these) -------------------------
+
+    def post_recv(self, mailbox: Mailbox, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Post a non-blocking receive; resumes with a :class:`Request`."""
+        req = yield _RecvPost(mailbox, source, tag)
+        return req
+
+    def send_to_mailbox(
+        self,
+        mailbox: Mailbox,
+        payload: Any,
+        *,
+        source: int,
+        tag: int,
+        nbytes: int | None,
+        same_node: bool,
+    ):
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        yield _SendMsg(mailbox, source, tag, payload, int(nbytes), same_node)
+
+    def wait(self, request: Request):
+        """Block until ``request`` completes; resumes with its payload."""
+        payload = yield _Wait(request)
+        return payload
+
+    def wait_any(self, waitables: list):
+        """Block until any request/event completes; resumes with
+        ``(index, payload)`` (payload is None for events)."""
+        result = yield _WaitAny(list(waitables))
+        return result
+
+    def test(self, request: Request):
+        """Non-blocking completion probe; charges the poll cost."""
+        done = yield _Test(request)
+        return done
+
+    def cancel(self, request: Request):
+        yield _Cancel(request)
+
+    def collective(self, key: tuple, members: tuple, data: Any, complete: Callable):
+        result = yield _CollectiveCall(key, members, data, complete)
+        return result
+
+    def rma(self, seconds: float, apply: Callable[[], Any], nbytes: int):
+        result = yield _RmaOp(float(seconds), apply, int(nbytes))
+        return result
+
+
+# --------------------------------------------------------------------------
+# Simulation
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a completed simulation run."""
+
+    #: virtual makespan: max final clock over all procs
+    makespan: float
+    #: per-proc final clocks, keyed by pid
+    clocks: dict[int, float]
+    #: per-proc return values (StopIteration values), keyed by pid
+    results: dict[int, Any]
+    #: per-proc stats, keyed by pid
+    stats: dict[int, ProcStats]
+    #: total number of engine events processed
+    n_events: int
+
+    def stats_by_name(self, prefix: str) -> list[ProcStats]:
+        return [s for s in self.stats.values() if s.name.startswith(prefix)]
+
+
+class Simulation:
+    """Owns procs, mailboxes, the event loop, and the timing models."""
+
+    def __init__(
+        self,
+        network: NetworkModel | None = None,
+        cost: CostModel | None = None,
+        max_events: int = 200_000_000,
+    ) -> None:
+        self.network = network or NetworkModel()
+        self.cost = cost or CostModel()
+        self.max_events = max_events
+        self._procs: list[_Proc] = []
+        self._runq: list[tuple[float, int, int]] = []
+        self._seq = itertools.count()
+        self._collectives: dict[tuple, dict] = {}
+        self._started = False
+
+    # -- construction --------------------------------------------------------
+
+    def new_mailbox(self, name: str = "") -> Mailbox:
+        return Mailbox(name)
+
+    def add_proc(
+        self,
+        program: Callable[..., Generator],
+        *args: Any,
+        node: int = 0,
+        name: str = "",
+        mailbox: Mailbox | None = None,
+    ) -> int:
+        """Register a proc.  ``program(ctx, *args)`` must be a generator
+        function.  Returns the pid."""
+        if self._started:
+            raise SimError("cannot add procs after run() started")
+        pid = len(self._procs)
+        proc = _Proc(pid, name or f"proc{pid}", node, mailbox or Mailbox(f"mb{pid}"))
+        ctx = Context(self, proc)
+        gen = program(ctx, *args)
+        if not hasattr(gen, "send"):
+            raise SimConfigError(
+                f"program {program!r} did not return a generator; "
+                "proc bodies must be generator functions (use `yield from ctx...`)"
+            )
+        proc.gen = gen
+        self._procs.append(proc)
+        return pid
+
+    def mailbox_of(self, pid: int) -> Mailbox:
+        return self._procs[pid].mailbox
+
+    def node_of(self, pid: int) -> int:
+        return self._procs[pid].node
+
+    # -- event loop ------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        if self._started:
+            raise SimError("Simulation.run() may only be called once")
+        self._started = True
+        for proc in self._procs:
+            self._push(proc)
+        n_events = 0
+        while self._runq:
+            clock, token, pid = heapq.heappop(self._runq)
+            proc = self._procs[pid]
+            if proc.state != _RUNNABLE or token != proc.heap_token:
+                continue  # stale heap entry
+            n_events += 1
+            if n_events > self.max_events:
+                raise SimError(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely a busy-poll loop — use wait/wait_any instead of test loops"
+                )
+            self._step(proc)
+        unfinished = [p for p in self._procs if p.state != _DONE]
+        if unfinished:
+            desc = ", ".join(f"{p.name}(pid={p.pid}, state={p.state})" for p in unfinished[:10])
+            raise DeadlockError(
+                f"{len(unfinished)} proc(s) blocked forever: {desc}"
+            )
+        return SimulationResult(
+            makespan=max((p.clock for p in self._procs), default=0.0),
+            clocks={p.pid: p.clock for p in self._procs},
+            results={p.pid: p.result for p in self._procs},
+            stats={p.pid: p.stats for p in self._procs},
+            n_events=n_events,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _push(self, proc: _Proc) -> None:
+        proc.state = _RUNNABLE
+        proc.heap_token = next(self._seq)
+        heapq.heappush(self._runq, (proc.clock, proc.heap_token, proc.pid))
+
+    def _block(self, proc: _Proc) -> None:
+        proc.state = _BLOCKED
+        proc._block_start = proc.clock
+
+    def _unblock(self, proc: _Proc, at_time: float) -> None:
+        new_clock = max(proc.clock, at_time)
+        proc.stats.comm_wait += new_clock - proc._block_start
+        proc.clock = new_clock
+        self._push(proc)
+
+    def _step(self, proc: _Proc) -> None:
+        """Advance one syscall of ``proc``'s generator."""
+        try:
+            syscall = proc.gen.send(proc.sendval)
+        except StopIteration as stop:
+            proc.state = _DONE
+            proc.result = stop.value
+            return
+        except SimError:
+            raise
+        except Exception as exc:
+            # annotate failures with simulation context — "which rank died
+            # at what virtual time" is the first thing one needs to debug a
+            # distributed algorithm
+            raise SimError(
+                f"proc {proc.name!r} (pid={proc.pid}, node={proc.node}) raised "
+                f"{type(exc).__name__} at virtual t={proc.clock:.6f}: {exc}"
+            ) from exc
+        proc.sendval = None
+        self._dispatch(proc, syscall)
+
+    def _dispatch(self, proc: _Proc, sc: Any) -> None:
+        if isinstance(sc, _Compute):
+            proc.clock += sc.seconds
+            proc.stats.add_compute(sc.kind, sc.seconds)
+            self._push(proc)
+        elif isinstance(sc, _SendMsg):
+            self._do_send(proc, sc)
+        elif isinstance(sc, _RecvPost):
+            proc.sendval = self._do_recv_post(proc, sc)
+            self._push(proc)
+        elif isinstance(sc, _Wait):
+            self._do_wait(proc, sc.request)
+        elif isinstance(sc, _WaitAny):
+            self._do_wait_any(proc, sc.waitables)
+        elif isinstance(sc, _Test):
+            proc.clock += self.network.poll_cost
+            proc.stats.poll_time += self.network.poll_cost
+            proc.sendval = sc.request.done and not sc.request.cancelled
+            if sc.request.done:
+                proc.clock = max(proc.clock, sc.request.completion_time)
+            self._push(proc)
+        elif isinstance(sc, _Cancel):
+            req = sc.request
+            req.cancelled = True
+            if not req.done and req in req._mailbox._pending:
+                req._mailbox._pending.remove(req)
+            self._push(proc)
+        elif isinstance(sc, _EventSet):
+            ev = sc.event
+            if not ev.done:
+                ev.done = True
+                ev.set_time = proc.clock
+                waiters, ev._waiters = ev._waiters, []
+                for waiter in waiters:
+                    self._finish_wait_any(waiter, ev, None)
+            self._push(proc)
+        elif isinstance(sc, _CollectiveCall):
+            self._do_collective(proc, sc)
+        elif isinstance(sc, _RmaOp):
+            proc.clock += sc.seconds
+            proc.stats.rma_time += sc.seconds
+            proc.stats.rma_ops += 1
+            proc.stats.bytes_sent += sc.nbytes
+            proc.sendval = sc.apply()
+            self._push(proc)
+        else:
+            raise SimError(f"proc {proc.name} yielded unknown syscall {sc!r}")
+
+    # -- messaging ----------------------------------------------------------------
+
+    def _do_send(self, proc: _Proc, sc: _SendMsg) -> None:
+        overhead = self.network.send_overhead()
+        proc.clock += overhead
+        proc.stats.send_time += overhead
+        proc.stats.msgs_sent += 1
+        proc.stats.bytes_sent += sc.nbytes
+        arrival = proc.clock + self.network.p2p_time(sc.nbytes, sc.same_node)
+        msg = _Message(arrival, next(self._seq), sc.source, sc.tag, sc.payload, sc.nbytes)
+        self._deliver(sc.mailbox, msg)
+        self._push(proc)
+
+    def _deliver(self, mailbox: Mailbox, msg: _Message) -> None:
+        for req in mailbox._pending:
+            if req._matches(msg.source, msg.tag):
+                mailbox._pending.remove(req)
+                req._complete(msg)
+                if req._waiter is not None:
+                    self._finish_wait_any(req._waiter, req, msg.payload)
+                return
+        mailbox._queue.append(msg)
+
+    def _do_recv_post(self, proc: _Proc, sc: _RecvPost) -> Request:
+        req = Request(sc.mailbox, sc.source, sc.tag, proc.clock)
+        best_idx, best = -1, None
+        for idx, msg in enumerate(sc.mailbox._queue):
+            if req._matches(msg.source, msg.tag):
+                if best is None or (msg.arrival, msg.seq) < (best.arrival, best.seq):
+                    best_idx, best = idx, msg
+        if best is not None:
+            del sc.mailbox._queue[best_idx]
+            req._complete(best)
+        else:
+            sc.mailbox._pending.append(req)
+        return req
+
+    def _do_wait(self, proc: _Proc, req: Request) -> None:
+        if req.cancelled:
+            raise SimError(f"proc {proc.name} waiting on a cancelled request")
+        if req.done:
+            proc.clock = max(proc.clock, req.completion_time) + self.network.recv_overhead()
+            proc.stats.recv_time += self.network.recv_overhead()
+            proc.sendval = req.payload
+            self._push(proc)
+        else:
+            req._waiter = proc
+            proc._wait_entries = [req]
+            self._block(proc)
+
+    def _do_wait_any(self, proc: _Proc, waitables: list) -> None:
+        # immediate completion?
+        for idx, w in enumerate(waitables):
+            if isinstance(w, Request) and w.done and not w.cancelled:
+                proc.clock = max(proc.clock, w.completion_time) + self.network.recv_overhead()
+                proc.stats.recv_time += self.network.recv_overhead()
+                proc.sendval = (idx, w.payload)
+                self._push(proc)
+                return
+            if isinstance(w, Event) and w.done:
+                proc.clock = max(proc.clock, w.set_time)
+                proc.sendval = (idx, None)
+                self._push(proc)
+                return
+        # none ready: register on all
+        proc._wait_entries = list(waitables)
+        for w in waitables:
+            if isinstance(w, Request):
+                w._waiter = proc
+            elif isinstance(w, Event):
+                w._waiters.append(proc)
+            else:
+                raise SimError(f"unsupported waitable {w!r}")
+        self._block(proc)
+
+    def _finish_wait_any(self, proc: _Proc, fired: Any, payload: Any) -> None:
+        """A registered waitable fired while ``proc`` was blocked."""
+        if proc.state != _BLOCKED:
+            return
+        entries = proc._wait_entries
+        proc._wait_entries = []
+        idx = next(i for i, w in enumerate(entries) if w is fired)
+        # unregister from the others
+        for w in entries:
+            if w is fired:
+                continue
+            if isinstance(w, Request):
+                w._waiter = None
+            elif isinstance(w, Event) and proc in w._waiters:
+                w._waiters.remove(proc)
+        if isinstance(fired, Request):
+            at = fired.completion_time + self.network.recv_overhead()
+            proc.stats.recv_time += self.network.recv_overhead()
+            if len(entries) == 1:
+                proc.sendval = payload  # plain wait()
+            else:
+                proc.sendval = (idx, payload)
+        else:
+            at = fired.set_time
+            proc.sendval = (idx, payload) if len(entries) > 1 else payload
+        self._unblock(proc, at)
+
+    # -- collectives -----------------------------------------------------------------
+
+    def _do_collective(self, proc: _Proc, sc: _CollectiveCall) -> None:
+        rec = self._collectives.get(sc.key)
+        if rec is None:
+            rec = {"members": sc.members, "arrived": {}, "complete": sc.complete}
+            self._collectives[sc.key] = rec
+        if rec["members"] != sc.members:
+            raise SimError(
+                f"collective {sc.key} member mismatch: {rec['members']} vs {sc.members}"
+            )
+        rec["arrived"][proc.pid] = (proc.clock, sc.data)
+        self._block(proc)
+        if len(rec["arrived"]) == len(rec["members"]):
+            del self._collectives[sc.key]
+            outcomes = rec["complete"](rec["arrived"])
+            for pid, (finish, result) in outcomes.items():
+                member = self._procs[pid]
+                member.sendval = result
+                self._unblock(member, finish)

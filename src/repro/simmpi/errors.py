@@ -1,0 +1,21 @@
+"""Exception types raised by the simulated MPI runtime."""
+
+from __future__ import annotations
+
+__all__ = ["SimError", "DeadlockError", "SimConfigError"]
+
+
+class SimError(RuntimeError):
+    """Base class for simulation-runtime failures."""
+
+
+class DeadlockError(SimError):
+    """All unfinished procs are blocked and no event can wake any of them.
+
+    The message lists every blocked proc and what it is waiting on; this is
+    the simulated analogue of an MPI job hanging on an unmatched receive.
+    """
+
+
+class SimConfigError(SimError, ValueError):
+    """Invalid simulation configuration (topology, cost model, group)."""

@@ -1,0 +1,57 @@
+"""Cluster topology: ranks, nodes, cores.
+
+The paper's machine is a Cray XC40: 24 cores per node (two 12-core Haswell
+sockets), 128 GB per node.  The topology object maps MPI ranks to compute
+nodes so the network model can distinguish intra-node (shared memory) from
+inter-node (Aries) transfers, and so the core layer can co-locate one worker
+process plus its OpenMP threads per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simmpi.errors import SimConfigError
+
+__all__ = ["ClusterTopology"]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Rank → node placement for a homogeneous cluster.
+
+    Ranks are packed onto nodes in blocks: ranks ``[0, cores_per_node)`` on
+    node 0, etc.  ``node_memory_bytes`` lets the core layer check that
+    replicated partitions still fit in node memory (the stated cost of the
+    paper's load-balancing optimisation).
+    """
+
+    n_ranks: int
+    cores_per_node: int = 24
+    node_memory_bytes: int = 128 * 2**30
+
+    def __post_init__(self) -> None:
+        if self.n_ranks <= 0:
+            raise SimConfigError(f"n_ranks must be positive, got {self.n_ranks}")
+        if self.cores_per_node <= 0:
+            raise SimConfigError(
+                f"cores_per_node must be positive, got {self.cores_per_node}"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return -(-self.n_ranks // self.cores_per_node)
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.n_ranks:
+            raise SimConfigError(f"rank {rank} out of range [0, {self.n_ranks})")
+        return rank // self.cores_per_node
+
+    def ranks_on_node(self, node: int) -> range:
+        if not 0 <= node < self.n_nodes:
+            raise SimConfigError(f"node {node} out of range [0, {self.n_nodes})")
+        lo = node * self.cores_per_node
+        return range(lo, min(lo + self.cores_per_node, self.n_ranks))
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)

@@ -1,0 +1,72 @@
+"""Per-proc timing statistics.
+
+These feed Fig. 5 (search-time breakdown): every proc accumulates where its
+virtual time went — computation by kind, send/receive overheads, blocked
+communication waits, polls, and RMA — and the eval layer aggregates them
+across ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProcStats", "aggregate_stats"]
+
+
+@dataclass
+class ProcStats:
+    """Where one proc's virtual time went, plus traffic counters."""
+
+    name: str = ""
+    #: computation seconds by kind (e.g. "search", "build", "route")
+    compute: dict[str, float] = field(default_factory=dict)
+    #: CPU time spent initiating sends
+    send_time: float = 0.0
+    #: CPU time spent completing receives
+    recv_time: float = 0.0
+    #: virtual time spent blocked waiting for messages/collectives
+    comm_wait: float = 0.0
+    #: time burnt in MPI_Test-style polls
+    poll_time: float = 0.0
+    #: origin-side time of one-sided operations
+    rma_time: float = 0.0
+    msgs_sent: int = 0
+    bytes_sent: int = 0
+    rma_ops: int = 0
+
+    def add_compute(self, kind: str, seconds: float) -> None:
+        self.compute[kind] = self.compute.get(kind, 0.0) + seconds
+
+    @property
+    def compute_total(self) -> float:
+        return sum(self.compute.values())
+
+    @property
+    def comm_total(self) -> float:
+        """All communication-attributable time (overheads + waits + polls +
+        one-sided)."""
+        return self.send_time + self.recv_time + self.comm_wait + self.poll_time + self.rma_time
+
+    @property
+    def busy_total(self) -> float:
+        return self.compute_total + self.comm_total
+
+
+def aggregate_stats(stats: list[ProcStats]) -> dict[str, float]:
+    """Sum a set of proc stats into one breakdown dict (seconds)."""
+    out = {
+        "compute": 0.0,
+        "send": 0.0,
+        "recv": 0.0,
+        "wait": 0.0,
+        "poll": 0.0,
+        "rma": 0.0,
+    }
+    for s in stats:
+        out["compute"] += s.compute_total
+        out["send"] += s.send_time
+        out["recv"] += s.recv_time
+        out["wait"] += s.comm_wait
+        out["poll"] += s.poll_time
+        out["rma"] += s.rma_time
+    return out

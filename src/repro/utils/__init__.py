@@ -1,0 +1,23 @@
+"""Shared low-level utilities: bounded heaps, RNG fan-out, validation."""
+
+from repro.utils.heaps import KnnBuffer, MaxHeap, MinHeap, merge_knn
+from repro.utils.rng import spawn_rngs, rng_for
+from repro.utils.validation import (
+    check_positive_int,
+    check_matrix,
+    check_vector,
+    check_probability,
+)
+
+__all__ = [
+    "KnnBuffer",
+    "MaxHeap",
+    "MinHeap",
+    "merge_knn",
+    "spawn_rngs",
+    "rng_for",
+    "check_positive_int",
+    "check_matrix",
+    "check_vector",
+    "check_probability",
+]

@@ -1,0 +1,194 @@
+"""Bounded heaps and k-NN result buffers.
+
+The hot inner loops of HNSW and the tree searches all maintain "the k best
+candidates so far".  Python's :mod:`heapq` is a min-heap of tuples; here we
+wrap it in small classes with an explicit bound so call sites read like the
+pseudocode in the paper, and add :func:`merge_knn`, the reduction the master
+process applies when combining local k-NN results from several partitions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["MinHeap", "MaxHeap", "KnnBuffer", "merge_knn"]
+
+
+class MinHeap:
+    """A (distance, id) min-heap: ``pop()`` returns the *closest* entry.
+
+    Used for the expanding candidate frontier in greedy graph search.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, items: Iterable[tuple[float, int]] | None = None) -> None:
+        self._heap: list[tuple[float, int]] = list(items) if items else []
+        heapq.heapify(self._heap)
+
+    def push(self, dist: float, ident: int) -> None:
+        heapq.heappush(self._heap, (dist, ident))
+
+    def pop(self) -> tuple[float, int]:
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> tuple[float, int]:
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[tuple[float, int]]:
+        return iter(self._heap)
+
+
+class MaxHeap:
+    """A (distance, id) max-heap: ``pop()`` returns the *farthest* entry.
+
+    Implemented by negating distances internally.  Used for the dynamic
+    result list in graph search ("W" in the HNSW paper), where the farthest
+    element is evicted when the list exceeds ``ef``.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, items: Iterable[tuple[float, int]] | None = None) -> None:
+        self._heap: list[tuple[float, int]] = (
+            [(-d, i) for d, i in items] if items else []
+        )
+        heapq.heapify(self._heap)
+
+    def push(self, dist: float, ident: int) -> None:
+        heapq.heappush(self._heap, (-dist, ident))
+
+    def pop(self) -> tuple[float, int]:
+        d, i = heapq.heappop(self._heap)
+        return -d, i
+
+    def peek(self) -> tuple[float, int]:
+        d, i = self._heap[0]
+        return -d, i
+
+    def max_dist(self) -> float:
+        """Distance of the farthest entry (``inf`` when empty)."""
+        return -self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def items(self) -> list[tuple[float, int]]:
+        """All (distance, id) pairs, unordered."""
+        return [(-d, i) for d, i in self._heap]
+
+    def sorted_items(self) -> list[tuple[float, int]]:
+        """All (distance, id) pairs, closest first."""
+        return sorted(self.items())
+
+
+class KnnBuffer:
+    """Bounded buffer of the ``k`` closest (distance, id) pairs seen so far.
+
+    This is the object every search routine threads through its traversal:
+    ``offer()`` either absorbs a candidate or rejects it, and ``tau`` (the
+    current kth-nearest distance) is what drives pruning in the VP- and
+    KD-tree searches.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._heap = MaxHeap()
+
+    @property
+    def tau(self) -> float:
+        """Current pruning radius: kth-nearest distance, or ``inf`` if fewer
+        than ``k`` candidates have been seen."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return self._heap.max_dist()
+
+    def offer(self, dist: float, ident: int) -> bool:
+        """Consider one candidate; return True if it entered the buffer."""
+        if len(self._heap) < self.k:
+            self._heap.push(dist, ident)
+            return True
+        if dist < self._heap.max_dist():
+            self._heap.pop()
+            self._heap.push(dist, ident)
+            return True
+        return False
+
+    def offer_many(self, dists: np.ndarray, idents: np.ndarray) -> None:
+        """Vectorized bulk offer.
+
+        Pre-filters with the current ``tau`` so that already-hopeless
+        candidates never touch the heap; the survivors are offered in
+        ascending-distance order, which tightens ``tau`` as early as
+        possible.
+        """
+        dists = np.asarray(dists, dtype=np.float64)
+        idents = np.asarray(idents)
+        mask = dists < self.tau
+        if len(self._heap) < self.k:
+            mask[:] = True
+        d, ii = dists[mask], idents[mask]
+        order = np.argsort(d, kind="stable")
+        for j in order:
+            self.offer(float(d[j]), int(ii[j]))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (distances, ids) sorted closest-first."""
+        pairs = self._heap.sorted_items()
+        if not pairs:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        d = np.array([p[0] for p in pairs], dtype=np.float64)
+        i = np.array([p[1] for p in pairs], dtype=np.int64)
+        return d, i
+
+
+def merge_knn(
+    results: Iterable[tuple[np.ndarray, np.ndarray]], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge several local k-NN results into a global top-k.
+
+    This is the reduction the master performs (Alg. 3 line "Update q's final
+    results") and also the combine operation realised remotely by
+    ``MPI_Get_accumulate`` in the one-sided path.  Each input is a
+    (distances, ids) pair sorted or not; ties are broken by id for
+    determinism.  Duplicate ids (possible when replicated partitions answer
+    the same query) are collapsed to their best distance.
+    """
+    all_d: list[np.ndarray] = []
+    all_i: list[np.ndarray] = []
+    for d, i in results:
+        if len(d):
+            all_d.append(np.asarray(d, dtype=np.float64))
+            all_i.append(np.asarray(i, dtype=np.int64))
+    if not all_d:
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+    d = np.concatenate(all_d)
+    i = np.concatenate(all_i)
+    # Collapse duplicate ids to the minimum distance.
+    order = np.lexsort((d, i))
+    d, i = d[order], i[order]
+    first = np.ones(len(i), dtype=bool)
+    first[1:] = i[1:] != i[:-1]
+    d, i = d[first], i[first]
+    # Global top-k, distance-then-id order.
+    order = np.lexsort((i, d))[:k]
+    return d[order], i[order]

@@ -1,0 +1,38 @@
+"""Deterministic RNG fan-out.
+
+Every stochastic component (dataset generation, HNSW level sampling, vantage
+point candidate sampling, simulated network jitter) takes a
+:class:`numpy.random.Generator`.  These helpers derive independent
+per-component / per-rank streams from one seed so a fixed seed reproduces an
+entire distributed run bit-for-bit, which the determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_rngs", "rng_for"]
+
+
+def spawn_rngs(seed: int | np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed."""
+    if isinstance(seed, np.random.Generator):
+        seq = seed.spawn(n)
+        return list(seq)
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in ss.spawn(n)]
+
+
+def rng_for(seed: int, *path: int | str) -> np.random.Generator:
+    """A generator keyed by a hierarchical path, e.g. ``rng_for(seed, "rank", 3)``.
+
+    String path components are folded into integers so that distinct
+    component names yield distinct streams regardless of rank numbering.
+    """
+    key = [seed]
+    for p in path:
+        if isinstance(p, str):
+            key.append(int.from_bytes(p.encode()[:8].ljust(8, b"\0"), "little") & 0x7FFFFFFF)
+        else:
+            key.append(int(p) & 0x7FFFFFFF)
+    return np.random.default_rng(np.random.SeedSequence(key))

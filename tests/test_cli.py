@@ -1,0 +1,144 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import read_fvecs, read_ivecs
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("corpus")
+    rc = main(
+        [
+            "gen",
+            "SYN_1M",
+            "--out",
+            str(d),
+            "--n-points",
+            "600",
+            "--n-queries",
+            "20",
+            "--k",
+            "5",
+            "--seed",
+            "3",
+        ]
+    )
+    assert rc == 0
+    return d
+
+
+@pytest.fixture(scope="module")
+def index_dir(corpus_dir, tmp_path_factory):
+    d = tmp_path_factory.mktemp("index")
+    rc = main(
+        [
+            "build",
+            str(corpus_dir / "base.fvecs"),
+            "--out",
+            str(d),
+            "--cores",
+            "4",
+            "--cores-per-node",
+            "2",
+            "--M",
+            "8",
+            "--ef-construction",
+            "30",
+            "--seed",
+            "3",
+        ]
+    )
+    assert rc == 0
+    return d
+
+
+class TestGen:
+    def test_files_written(self, corpus_dir):
+        X = read_fvecs(corpus_dir / "base.fvecs")
+        Q = read_fvecs(corpus_dir / "query.fvecs")
+        gt = read_ivecs(corpus_dir / "groundtruth.ivecs")
+        assert X.shape == (600, 512)
+        assert Q.shape == (20, 512)
+        assert gt.shape == (20, 5)
+
+
+class TestBuild:
+    def test_index_artifacts(self, index_dir):
+        meta = json.loads((index_dir / "meta.json").read_text())
+        assert meta["n_cores"] == 4
+        assert os.path.exists(index_dir / "router.npz")
+        for pid in range(4):
+            assert os.path.exists(index_dir / f"partition{pid}.npz")
+        assert sum(meta["partition_sizes"]) == 600
+
+
+class TestQuery:
+    def test_query_with_recall(self, corpus_dir, index_dir, tmp_path, capsys):
+        out = tmp_path / "result.ivecs"
+        rc = main(
+            [
+                "query",
+                str(index_dir),
+                str(corpus_dir / "query.fvecs"),
+                "--out",
+                str(out),
+                "--groundtruth",
+                str(corpus_dir / "groundtruth.ivecs"),
+                "--k",
+                "5",
+                "--n-probe",
+                "4",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "recall@5" in printed
+        recall = float(printed.rsplit("=", 1)[1])
+        assert recall >= 0.9
+        ids = read_ivecs(out)
+        assert ids.shape == (20, 5)
+
+    def test_saved_index_matches_fresh_results(self, corpus_dir, index_dir, tmp_path):
+        """Round-tripping the index through disk must not change answers."""
+        from repro.core import DistributedANN, SystemConfig
+        from repro.hnsw import HnswParams
+
+        X = read_fvecs(corpus_dir / "base.fvecs")
+        Q = read_fvecs(corpus_dir / "query.fvecs")
+        fresh = DistributedANN(
+            SystemConfig(
+                n_cores=4, cores_per_node=2, k=5,
+                hnsw=HnswParams(M=8, ef_construction=30, seed=3), n_probe=4, seed=3,
+            )
+        )
+        fresh.fit(X)
+        _, I_fresh, _ = fresh.query(Q, k=5)
+
+        out = tmp_path / "cli.ivecs"
+        main(
+            [
+                "query", str(index_dir), str(corpus_dir / "query.fvecs"),
+                "--out", str(out), "--k", "5", "--n-probe", "4",
+            ]
+        )
+        I_cli = read_ivecs(out).astype(np.int64)
+        assert np.array_equal(I_fresh, I_cli)
+
+
+class TestBench:
+    def test_bench_runs(self, capsys):
+        rc = main(
+            [
+                "bench", "--dataset", "SYN_1M", "--cores", "8", "16",
+                "--n-points", "512", "--n-queries", "50",
+            ]
+        )
+        assert rc == 0
+        outp = capsys.readouterr().out
+        assert "speedup" in outp

@@ -1,0 +1,72 @@
+"""Unit tests for the k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans, kmeans_plus_plus_init
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0, 0], [10, 0], [0, 10], [10, 10]], dtype=np.float64)
+    X = np.concatenate([c + rng.normal(0, 0.5, size=(50, 2)) for c in centers])
+    return X.astype(np.float32), centers
+
+
+class TestInit:
+    def test_plus_plus_spreads_centroids(self, blobs):
+        X, centers = blobs
+        rng = np.random.default_rng(1)
+        C = kmeans_plus_plus_init(X.astype(np.float64), 4, rng)
+        # each seeded centroid should be near a distinct true center
+        assign = {int(np.argmin(((centers - c) ** 2).sum(1))) for c in C}
+        assert len(assign) >= 3  # spread across at least 3 of 4 blobs
+
+    def test_k_equals_n(self):
+        X = np.eye(3)
+        rng = np.random.default_rng(0)
+        C = kmeans_plus_plus_init(X, 3, rng)
+        assert C.shape == (3, 3)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, blobs):
+        X, centers = blobs
+        km = KMeans(4, seed=2).fit(X)
+        # every learned centroid close to a true center
+        for c in km.centroids:
+            assert np.min(((centers - c) ** 2).sum(1)) < 1.0
+
+    def test_predict_consistent_with_fit(self, blobs):
+        X, _ = blobs
+        km = KMeans(4, seed=2).fit(X)
+        assign = km.predict(X)
+        assert assign.shape == (len(X),)
+        assert set(np.unique(assign)) <= set(range(4))
+        # points in the same blob share an assignment
+        assert len(np.unique(assign[:50])) == 1
+
+    def test_inertia_decreases_with_k(self, blobs):
+        X, _ = blobs
+        i2 = KMeans(2, seed=1).fit(X).inertia_
+        i8 = KMeans(8, seed=1).fit(X).inertia_
+        assert i8 < i2
+
+    def test_empty_cluster_reseeded(self):
+        # duplicate points force empty clusters; must not crash or NaN
+        X = np.ones((20, 3), dtype=np.float32)
+        km = KMeans(4, seed=0).fit(X)
+        assert np.all(np.isfinite(km.centroids))
+
+    def test_deterministic(self, blobs):
+        X, _ = blobs
+        a = KMeans(4, seed=5).fit(X)
+        b = KMeans(4, seed=5).fit(X)
+        assert np.array_equal(a.centroids, b.centroids)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.ones((3, 2), dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.ones((3, 2), dtype=np.float32))

@@ -1,0 +1,69 @@
+"""Unit tests for SystemConfig validation and derived topology."""
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.simmpi.errors import SimConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SystemConfig()
+        assert cfg.n_cores == 8 and cfg.n_nodes == 2
+
+    def test_bad_core_counts(self):
+        with pytest.raises(SimConfigError):
+            SystemConfig(n_cores=0)
+        with pytest.raises(SimConfigError):
+            SystemConfig(cores_per_node=0)
+
+    def test_bad_k(self):
+        with pytest.raises(SimConfigError):
+            SystemConfig(k=0)
+
+    def test_bad_routing_and_owner(self):
+        with pytest.raises(SimConfigError):
+            SystemConfig(routing="magic")
+        with pytest.raises(SimConfigError):
+            SystemConfig(owner_strategy="nobody")
+        with pytest.raises(SimConfigError):
+            SystemConfig(searcher="psychic")
+
+    def test_replication_bounds(self):
+        with pytest.raises(SimConfigError):
+            SystemConfig(n_cores=4, replication_factor=5)
+        with pytest.raises(SimConfigError):
+            SystemConfig(replication_factor=0)
+        SystemConfig(n_cores=4, replication_factor=4)  # boundary ok
+
+    def test_adaptive_requires_two_sided(self):
+        with pytest.raises(SimConfigError, match="two-sided"):
+            SystemConfig(routing="adaptive", one_sided=True)
+        SystemConfig(routing="adaptive", one_sided=False)
+
+    def test_n_probe_positive(self):
+        with pytest.raises(SimConfigError):
+            SystemConfig(n_probe=0)
+
+
+class TestDerived:
+    def test_node_mapping(self):
+        cfg = SystemConfig(n_cores=48, cores_per_node=24)
+        assert cfg.n_nodes == 2
+        assert cfg.node_of_core(0) == 0 and cfg.node_of_core(47) == 1
+        with pytest.raises(SimConfigError):
+            cfg.node_of_core(48)
+
+    def test_partial_node(self):
+        cfg = SystemConfig(n_cores=30, cores_per_node=24)
+        assert cfg.n_nodes == 2
+
+    def test_threads_per_node_capped_by_cores(self):
+        cfg = SystemConfig(n_cores=2, cores_per_node=24)
+        assert cfg.threads_per_node == 2
+
+    def test_effective_ef_search_override(self):
+        cfg = SystemConfig(ef_search=123)
+        assert cfg.effective_ef_search == 123
+        cfg2 = SystemConfig()
+        assert cfg2.effective_ef_search == cfg2.hnsw.ef_search

@@ -1,0 +1,77 @@
+"""Tests for per-query latency measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedANN, SystemConfig
+from repro.datasets import sample_queries, sift_like
+from repro.eval import latency_stats
+from repro.hnsw import HnswParams
+
+
+@pytest.fixture(scope="module")
+def system_and_queries():
+    X = sift_like(1200, dim=32, seed=81)
+    Q = sample_queries(X, 60, noise_scale=0.05, seed=82)
+    base = dict(
+        n_cores=4, cores_per_node=2, k=5,
+        hnsw=HnswParams(M=8, ef_construction=40, seed=81), n_probe=2, seed=81,
+    )
+    return X, Q, base
+
+
+class TestQueryLatencies:
+    def test_two_sided_reports_latencies(self, system_and_queries):
+        X, Q, base = system_and_queries
+        ann = DistributedANN(SystemConfig(**base, one_sided=False))
+        ann.fit(X)
+        _, _, rep = ann.query(Q)
+        lat = rep.query_latencies
+        assert lat is not None and lat.shape == (len(Q),)
+        assert np.all(np.isfinite(lat))
+        assert np.all(lat > 0)
+        # no query can finish after the batch
+        assert lat.max() <= rep.total_seconds + 1e-12
+
+    def test_one_sided_has_no_latencies(self, system_and_queries):
+        X, Q, base = system_and_queries
+        ann = DistributedANN(SystemConfig(**base, one_sided=True))
+        ann.fit(X)
+        _, _, rep = ann.query(Q)
+        assert rep.query_latencies is None
+
+    def test_adaptive_mode_latencies(self, system_and_queries):
+        X, Q, base = system_and_queries
+        ann = DistributedANN(
+            SystemConfig(**base, routing="adaptive", one_sided=False)
+        )
+        ann.fit(X)
+        _, _, rep = ann.query(Q)
+        assert np.all(np.isfinite(rep.query_latencies))
+
+    def test_latencies_ordered_with_dispatch(self, system_and_queries):
+        """Later-dispatched queries cannot, on average, finish earlier than
+        the earliest ones by more than the pipeline depth."""
+        X, Q, base = system_and_queries
+        ann = DistributedANN(SystemConfig(**base, one_sided=False))
+        ann.fit(X)
+        _, _, rep = ann.query(Q)
+        lat = rep.query_latencies
+        # first query completes before the whole batch does
+        assert lat[0] < rep.total_seconds
+
+
+class TestLatencyStats:
+    def test_percentile_ordering(self):
+        rng = np.random.default_rng(0)
+        s = latency_stats(rng.exponential(1e-3, size=500))
+        assert s.p50 <= s.p90 <= s.p99 <= s.max
+        assert s.n == 500
+
+    def test_nans_dropped(self):
+        s = latency_stats(np.array([1.0, np.nan, 3.0]))
+        assert s.n == 2 and s.max == 3.0
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError, match="one-sided"):
+            latency_stats(np.array([np.nan, np.nan]))

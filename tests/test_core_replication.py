@@ -1,0 +1,53 @@
+"""Unit tests for workgroup replication (Alg. 5 bookkeeping)."""
+
+import pytest
+
+from repro.core.replication import Workgroups
+from repro.simmpi.errors import SimConfigError
+
+
+class TestWorkgroups:
+    def test_group_membership_wraps(self):
+        wg = Workgroups(4, 3)
+        assert wg.cores_for_partition(0) == [0, 1, 2]
+        assert wg.cores_for_partition(3) == [3, 0, 1]
+
+    def test_r1_identity(self):
+        wg = Workgroups(4, 1)
+        for p in range(4):
+            assert wg.cores_for_partition(p) == [p]
+            assert wg.next_core(p) == p
+
+    def test_round_robin_cycles(self):
+        wg = Workgroups(5, 2)
+        assert [wg.next_core(0) for _ in range(4)] == [0, 1, 0, 1]
+
+    def test_independent_pointers_per_partition(self):
+        wg = Workgroups(5, 2)
+        wg.next_core(0)
+        assert wg.next_core(1) == 1  # untouched by partition 0's pointer
+
+    def test_inverse_mapping(self):
+        wg = Workgroups(6, 3)
+        for core in range(6):
+            for p in wg.partitions_for_core(core):
+                assert core in wg.cores_for_partition(p)
+
+    def test_inverse_mapping_counts(self):
+        wg = Workgroups(8, 3)
+        # every core hosts exactly r partitions
+        assert all(len(wg.partitions_for_core(c)) == 3 for c in range(8))
+
+    def test_reset(self):
+        wg = Workgroups(4, 2)
+        wg.next_core(0)
+        wg.reset()
+        assert wg.next_core(0) == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(SimConfigError):
+            Workgroups(0, 1)
+        with pytest.raises(SimConfigError):
+            Workgroups(4, 5)
+        with pytest.raises(SimConfigError):
+            Workgroups(4, 0)

@@ -1,0 +1,165 @@
+"""Unit tests for the dataset substrate (generators, queries, catalog)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_CATALOG,
+    MDCGenConfig,
+    cluster_queries,
+    deep_like,
+    gist_like,
+    load_dataset,
+    mdcgen,
+    sample_queries,
+    sift_like,
+    uniform_queries,
+)
+
+
+class TestMDCGen:
+    def test_shapes_and_labels(self):
+        cfg = MDCGenConfig(n_points=1000, dim=8, n_clusters=4, seed=1)
+        X, y, centroids = mdcgen(cfg)
+        assert X.shape == (1000, 8) and X.dtype == np.float32
+        assert y.shape == (1000,)
+        assert centroids.shape == (4, 8)
+
+    def test_outlier_fraction(self):
+        cfg = MDCGenConfig(n_points=2000, dim=4, outlier_fraction=0.05, seed=2)
+        X, y, _ = mdcgen(cfg)
+        assert (y == -1).sum() == 100
+
+    def test_cluster_sizes_cover_all_points(self):
+        cfg = MDCGenConfig(n_points=777, dim=4, n_clusters=3, seed=3)
+        X, y, _ = mdcgen(cfg)
+        assert len(X) == 777
+        assert set(np.unique(y)) <= set(range(-1, 3))
+
+    def test_deterministic(self):
+        cfg = MDCGenConfig(n_points=300, dim=4, seed=9)
+        X1, y1, c1 = mdcgen(cfg)
+        X2, y2, c2 = mdcgen(cfg)
+        assert np.array_equal(X1, X2) and np.array_equal(y1, y2)
+
+    def test_points_are_clustered(self):
+        """Within-cluster spread must be far below the inter-centroid span."""
+        cfg = MDCGenConfig(n_points=2000, dim=8, n_clusters=4, compactness=0.02, seed=4)
+        X, y, centroids = mdcgen(cfg)
+        for c in range(4):
+            pts = X[y == c].astype(np.float64)
+            spread = np.linalg.norm(pts - pts.mean(0), axis=1).mean()
+            assert spread < 0.1 * cfg.domain
+
+    def test_weights_respected(self):
+        cfg = MDCGenConfig(
+            n_points=1000, dim=4, n_clusters=2, weights=(3.0, 1.0),
+            outlier_fraction=0.0, seed=5,
+        )
+        X, y, _ = mdcgen(cfg)
+        assert abs((y == 0).sum() - 750) <= 1
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            MDCGenConfig(n_points=10, dim=4, distributions="weird")
+        with pytest.raises(ValueError):
+            MDCGenConfig(n_points=10, dim=4, outlier_fraction=1.5)
+        with pytest.raises(ValueError):
+            MDCGenConfig(n_points=10, dim=4, n_clusters=3, weights=(1.0, 2.0))
+
+
+class TestDescriptors:
+    def test_sift_range_and_quantization(self):
+        X = sift_like(500, seed=0)
+        assert X.shape == (500, 128)
+        assert X.min() >= 0 and X.max() <= 255
+        assert np.array_equal(X, np.floor(X))  # quantized
+
+    def test_sift_unquantized(self):
+        X = sift_like(100, seed=0, quantize=False)
+        assert not np.array_equal(X, np.floor(X))
+
+    def test_deep_unit_norm(self):
+        X = deep_like(300, seed=1)
+        assert X.shape == (300, 96)
+        norms = np.linalg.norm(X.astype(np.float64), axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_gist_high_dim_bounded(self):
+        X = gist_like(100, seed=2)
+        assert X.shape == (100, 960)
+        assert X.min() >= 0 and X.max() <= 0.81
+
+    def test_descriptors_are_clustered_not_uniform(self):
+        """Near-neighbor distances must be far below random-pair distances —
+        the property that makes these corpora realistic for ANN."""
+        X = sift_like(1000, seed=3).astype(np.float64)
+        rng = np.random.default_rng(0)
+        idx = rng.choice(1000, 50, replace=False)
+        from repro.metrics import get_metric
+
+        m = get_metric("l2")
+        near = np.mean([np.sort(m.one_to_many(X[i], X))[1] for i in idx])
+        far = np.mean([m.one_to_many(X[i], X).mean() for i in idx])
+        assert near < 0.5 * far
+
+
+class TestQueries:
+    def test_cluster_queries_inside_box(self):
+        c = np.full(8, 50.0)
+        Q = cluster_queries(c, 100, compactness=0.01, domain=100.0, seed=0)
+        assert Q.shape == (100, 8)
+        assert np.all(np.abs(Q - 50.0) <= 1.0 + 1e-5)
+
+    def test_uniform_queries_span_domain(self):
+        Q = uniform_queries(500, 4, 0.0, 10.0, seed=1)
+        assert Q.min() >= 0 and Q.max() <= 10
+        assert Q.max() - Q.min() > 8  # actually spans
+
+    def test_sample_queries_from_dataset(self):
+        X = sift_like(200, seed=4)
+        Q = sample_queries(X, 50, noise_scale=0.0, seed=5)
+        # zero noise => every query is an exact dataset row
+        as_set = {tuple(row) for row in X.tolist()}
+        assert all(tuple(q) in as_set for q in Q.tolist())
+
+    def test_sample_queries_with_noise_differ(self):
+        X = sift_like(200, seed=4)
+        Q = sample_queries(X, 50, noise_scale=0.1, seed=5)
+        as_set = {tuple(row) for row in X.tolist()}
+        assert not all(tuple(q) in as_set for q in Q.tolist())
+
+
+class TestCatalog:
+    def test_catalog_matches_table1(self):
+        """Names, dims and paper-scale counts of Table I."""
+        expect = {
+            "ANN_SIFT1B": (1_000_000_000, 128, 10_000),
+            "DEEP1B": (1_000_000_000, 96, 10_000),
+            "ANN_GIST1M": (1_000_000, 960, 1_000),
+            "SYN_1M": (1_000_000, 512, 10_000),
+            "SYN_10M": (10_000_000, 256, 10_000),
+        }
+        assert set(DATASET_CATALOG) == set(expect)
+        for name, (n, dim, nq) in expect.items():
+            spec = DATASET_CATALOG[name]
+            assert spec.paper_n_points == n
+            assert spec.dim == dim
+            assert spec.paper_n_queries == nq
+
+    def test_load_dataset_ground_truth_is_exact(self):
+        ds = load_dataset("SYN_1M", n_points=500, n_queries=10, k=5, seed=1)
+        assert ds.X.shape == (500, 512)
+        assert ds.gt_ids.shape == (10, 5)
+        # ground truth distances are ascending
+        assert np.all(np.diff(ds.gt_dists, axis=1) >= -1e-9)
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            load_dataset("NOPE")
+
+    @pytest.mark.parametrize("name", list(DATASET_CATALOG))
+    def test_every_entry_loads(self, name):
+        ds = load_dataset(name, n_points=300, n_queries=5, k=3, seed=0)
+        assert ds.n_points == 300 and ds.n_queries == 5
+        assert ds.X.shape[1] == DATASET_CATALOG[name].dim

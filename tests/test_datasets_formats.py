@@ -1,0 +1,81 @@
+"""Unit tests for the TEXMEX fvecs/ivecs/bvecs file formats."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+
+
+class TestRoundTrip:
+    def test_fvecs(self, tmp_path):
+        X = np.random.default_rng(0).normal(size=(50, 17)).astype(np.float32)
+        p = tmp_path / "x.fvecs"
+        write_fvecs(p, X)
+        assert np.array_equal(read_fvecs(p), X)
+
+    def test_ivecs(self, tmp_path):
+        X = np.random.default_rng(1).integers(-1000, 1000, size=(20, 10)).astype(np.int32)
+        p = tmp_path / "x.ivecs"
+        write_ivecs(p, X)
+        assert np.array_equal(read_ivecs(p), X)
+
+    def test_bvecs(self, tmp_path):
+        X = np.random.default_rng(2).integers(0, 256, size=(30, 128)).astype(np.uint8)
+        p = tmp_path / "x.bvecs"
+        write_bvecs(p, X)
+        assert np.array_equal(read_bvecs(p), X)
+
+    def test_limit_reads_prefix(self, tmp_path):
+        X = np.arange(40, dtype=np.float32).reshape(10, 4)
+        p = tmp_path / "x.fvecs"
+        write_fvecs(p, X)
+        assert np.array_equal(read_fvecs(p, limit=3), X[:3])
+
+    def test_single_row(self, tmp_path):
+        X = np.ones((1, 5), dtype=np.float32)
+        p = tmp_path / "one.fvecs"
+        write_fvecs(p, X)
+        assert read_fvecs(p).shape == (1, 5)
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.fvecs"
+        p.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            read_fvecs(p)
+
+    def test_truncated_file(self, tmp_path):
+        X = np.ones((3, 4), dtype=np.float32)
+        p = tmp_path / "x.fvecs"
+        write_fvecs(p, X)
+        raw = p.read_bytes()
+        p.write_bytes(raw[:-3])
+        with pytest.raises(ValueError, match="record size"):
+            read_fvecs(p)
+
+    def test_garbage_dimension(self, tmp_path):
+        p = tmp_path / "bad.fvecs"
+        p.write_bytes(np.array([-5], dtype="<i4").tobytes() + b"\0" * 16)
+        with pytest.raises(ValueError, match="invalid leading dimension"):
+            read_fvecs(p)
+
+    def test_write_rejects_1d(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D"):
+            write_fvecs(tmp_path / "x.fvecs", np.zeros(4, dtype=np.float32))
+
+    def test_format_is_texmex_compatible(self, tmp_path):
+        """The on-disk layout must be <int32 dim> then dim elements."""
+        X = np.array([[1.5, 2.5]], dtype=np.float32)
+        p = tmp_path / "x.fvecs"
+        write_fvecs(p, X)
+        raw = p.read_bytes()
+        assert np.frombuffer(raw[:4], dtype="<i4")[0] == 2
+        assert np.allclose(np.frombuffer(raw[4:], dtype="<f4"), [1.5, 2.5])

@@ -1,0 +1,97 @@
+"""Unit tests for the evaluation package."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    format_histogram,
+    format_table,
+    load_distribution,
+    per_query_recall,
+    recall_at_k,
+    speedup_table,
+)
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(np.array([[3, 2, 1]]), gt) == 1.0
+
+    def test_partial_recall(self):
+        gt = np.array([[1, 2, 3, 4]])
+        assert recall_at_k(np.array([[1, 2, 9, 9]]), gt) == pytest.approx(0.5)
+
+    def test_padding_ignored(self):
+        gt = np.array([[1, 2]])
+        assert recall_at_k(np.array([[1, -1]]), gt) == pytest.approx(0.5)
+
+    def test_tie_tolerance(self):
+        """An equidistant substitute for the k-th neighbor must count."""
+        gt_ids = np.array([[1, 2]])
+        gt_d = np.array([[1.0, 5.0]])
+        res_ids = np.array([[1, 99]])
+        res_d = np.array([[1.0, 5.0]])  # 99 is exactly as far as 2
+        assert recall_at_k(res_ids, gt_ids, gt_d, res_d) == 1.0
+        # without distances, it is penalized
+        assert recall_at_k(res_ids, gt_ids) == pytest.approx(0.5)
+
+    def test_per_query_shape(self):
+        gt = np.tile(np.arange(3), (5, 1))
+        r = per_query_recall(gt.copy(), gt)
+        assert r.shape == (5,) and np.all(r == 1.0)
+
+    def test_mismatched_rows_raise(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((2, 3), dtype=int), np.zeros((3, 3), dtype=int))
+
+
+class TestLoad:
+    def test_balanced(self):
+        s = load_distribution(np.array([10, 10, 10, 10]))
+        assert s.imbalance == 1.0 and s.spread() == 0
+        assert s.optimal == 10.0
+
+    def test_skewed(self):
+        s = load_distribution(np.array([40, 0, 0, 0]))
+        assert s.imbalance == 4.0 and s.spread() == 40
+        assert s.total_tasks == 40
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            load_distribution(np.array([]))
+        with pytest.raises(ValueError):
+            load_distribution(np.zeros((2, 2)))
+
+
+class TestScaling:
+    def test_linear_scaling(self):
+        rows = speedup_table([(32, 32.0), (64, 16.0), (128, 8.0)])
+        assert [r.speedup for r in rows] == [1.0, 2.0, 4.0]
+        assert all(r.efficiency == pytest.approx(1.0) for r in rows)
+
+    def test_sublinear_efficiency_below_one(self):
+        rows = speedup_table([(32, 32.0), (128, 16.0)])
+        assert rows[1].speedup == 2.0
+        assert rows[1].efficiency == pytest.approx(0.5)
+
+    def test_unsorted_input_sorted_output(self):
+        rows = speedup_table([(128, 8.0), (32, 32.0)])
+        assert rows[0].cores == 32
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            speedup_table([])
+
+
+class TestReporting:
+    def test_table_contains_all_cells(self):
+        t = format_table(["a", "b"], [[1, 2.5], [3, 4.0]], title="T")
+        assert "T" in t and "2.5" in t and "3" in t
+
+    def test_histogram_runs(self):
+        h = format_histogram(np.random.default_rng(0).normal(size=100), bins=5)
+        assert h.count("\n") >= 4
+
+    def test_histogram_empty(self):
+        assert "empty" in format_histogram(np.array([]), title="x")

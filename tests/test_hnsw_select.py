@@ -1,0 +1,68 @@
+"""Unit tests for HNSW neighbor-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.hnsw.select import select_heuristic, select_simple
+
+
+def cross_from_points(pts, cand_ids):
+    sub = pts[cand_ids]
+    diff = sub[:, None, :] - sub[None, :, :]
+    return np.sqrt((diff**2).sum(-1))
+
+
+class TestSelectSimple:
+    def test_keeps_m_closest(self):
+        cands = [(3.0, 3), (1.0, 1), (2.0, 2), (4.0, 4)]
+        assert select_simple(cands, 2) == [(1.0, 1), (2.0, 2)]
+
+    def test_fewer_candidates_than_m(self):
+        cands = [(1.0, 1)]
+        assert select_simple(cands, 5) == [(1.0, 1)]
+
+
+class TestSelectHeuristic:
+    def test_diversity_preferred_over_proximity(self):
+        """Two near-duplicate close candidates: only one is kept; a farther
+        candidate in another direction is kept instead."""
+        q = np.zeros(2)
+        pts = np.array(
+            [[1.0, 0.0], [1.05, 0.0], [0.0, 3.0]], dtype=np.float64
+        )  # two clones to the right, one up
+        dq = np.sqrt((pts**2).sum(1))
+        cands = sorted((float(dq[i]), i) for i in range(3))
+        cross = cross_from_points(pts, np.arange(3))
+        kept = select_heuristic(cands, 2, cross, keep_pruned=False)
+        kept_ids = {c for _, c in kept}
+        assert 0 in kept_ids and 2 in kept_ids and 1 not in kept_ids
+
+    def test_keep_pruned_backfills(self):
+        q = np.zeros(2)
+        pts = np.array([[1.0, 0.0], [1.05, 0.0], [1.1, 0.0]], dtype=np.float64)
+        dq = np.sqrt((pts**2).sum(1))
+        cands = sorted((float(dq[i]), i) for i in range(3))
+        cross = cross_from_points(pts, np.arange(3))
+        no_backfill = select_heuristic(cands, 3, cross, keep_pruned=False)
+        backfill = select_heuristic(cands, 3, cross, keep_pruned=True)
+        assert len(no_backfill) == 1
+        assert len(backfill) == 3
+
+    def test_first_candidate_always_kept(self):
+        pts = np.random.default_rng(0).normal(size=(10, 4))
+        dq = np.sqrt((pts**2).sum(1))
+        cands = sorted((float(dq[i]), i) for i in range(10))
+        cross = cross_from_points(pts, np.arange(10))
+        kept = select_heuristic(cands, 4, cross)
+        assert kept[0] == cands[0]
+
+    def test_result_bounded_by_m(self):
+        pts = np.random.default_rng(1).normal(size=(20, 4))
+        dq = np.sqrt((pts**2).sum(1))
+        cands = sorted((float(dq[i]), i) for i in range(20))
+        cross = cross_from_points(pts, np.arange(20))
+        assert len(select_heuristic(cands, 5, cross)) <= 5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cross matrix"):
+            select_heuristic([(1.0, 0)], 1, np.zeros((2, 2)))

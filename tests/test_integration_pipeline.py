@@ -1,0 +1,75 @@
+"""Full-pipeline integration test: the Table III experiment in miniature.
+
+Generates a catalog dataset, builds both systems (ours and the KD
+baseline) on the same simulated cluster, queries both, and checks every
+cross-system invariant at once — the closest thing to running the paper's
+evaluation end-to-end in a single test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedANN, SystemConfig
+from repro.datasets import load_dataset
+from repro.eval import load_distribution, recall_at_k
+from repro.hnsw import HnswParams
+from repro.kdtree import KDBaselineSystem
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    ds = load_dataset("ANN_SIFT1B", n_points=2000, n_queries=40, k=10, seed=99)
+    cfg = SystemConfig(
+        n_cores=8,
+        cores_per_node=4,
+        k=10,
+        hnsw=HnswParams(M=8, ef_construction=50, seed=99),
+        n_probe=3,
+        seed=99,
+    )
+    ours = DistributedANN(cfg)
+    ours_build = ours.fit(ds.X)
+    D, I, rep = ours.query(ds.Q)
+
+    kd = KDBaselineSystem(cfg, leaf_size=32)
+    kd.fit(ds.X)
+    Dk, Ik, repk = kd.query(ds.Q)
+    return ds, ours_build, (D, I, rep), (Dk, Ik, repk)
+
+
+class TestPipeline:
+    def test_baseline_exact_ours_accurate(self, experiment):
+        ds, _, (D, I, rep), (Dk, Ik, repk) = experiment
+        assert recall_at_k(Ik, ds.gt_ids, ds.gt_dists, Dk) == 1.0
+        assert recall_at_k(I, ds.gt_ids, ds.gt_dists, D) >= 0.8
+
+    def test_ours_faster(self, experiment):
+        _, _, (_, _, rep), (_, _, repk) = experiment
+        assert rep.total_seconds < repk.total_seconds
+
+    def test_ours_does_less_work(self, experiment):
+        _, _, (_, _, rep), (_, _, repk) = experiment
+        assert rep.mean_fanout < repk.mean_fanout
+        assert rep.worker_breakdown["compute"] < repk.worker_breakdown["compute"]
+
+    def test_construction_accounted(self, experiment):
+        _, build, *_ = experiment
+        assert build.total_seconds >= build.hnsw_seconds
+        assert sum(build.partition_sizes) == 2000
+
+    def test_load_roughly_balanced_on_natural_queries(self, experiment):
+        _, _, (_, _, rep), _ = experiment
+        stats = load_distribution(rep.dispatch_counts)
+        assert stats.total_tasks == rep.tasks
+        assert stats.imbalance < 6.0
+
+    def test_reports_internally_consistent(self, experiment):
+        ds, _, (D, I, rep), _ = experiment
+        assert rep.tasks == int(rep.dispatch_counts.sum())
+        assert rep.n_queries == ds.n_queries
+        assert 0 <= rep.comm_fraction <= 1
+        # distances ascending, ids valid
+        for row_d, row_i in zip(D, I):
+            finite = row_d[np.isfinite(row_d)]
+            assert np.all(np.diff(finite) >= -1e-9)
+            assert row_i[row_i >= 0].max(initial=-1) < ds.n_points

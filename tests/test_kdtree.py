@@ -1,0 +1,133 @@
+"""Unit tests for the KD-tree baseline (serial + distributed + router)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import brute_force_knn, sample_queries, sift_like
+from repro.kdtree import KDPartitionRouter, KDTree, distributed_build_kd
+from repro.simmpi import Comm, Simulation
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(2)
+    X = rng.normal(0, 5, size=(500, 10)).astype(np.float32)
+    Q = (X[:20] + rng.normal(0, 0.5, (20, 10))).astype(np.float32)
+    gt_d, gt_i = brute_force_knn(X, Q, 6)
+    return X, Q, gt_d, gt_i
+
+
+class TestSerialKD:
+    def test_exact_matches_brute_force(self, data):
+        X, Q, gt_d, gt_i = data
+        tree = KDTree(X, leaf_size=16)
+        for qi in range(len(Q)):
+            d, ids = tree.knn_search(Q[qi], 6)
+            assert np.array_equal(ids, gt_i[qi])
+
+    def test_leaves_partition(self, data):
+        X, *_ = data
+        tree = KDTree(X, leaf_size=16)
+        allids = np.sort(np.concatenate(tree.leaves()))
+        assert np.array_equal(allids, np.arange(len(X)))
+
+    def test_rejects_non_coordinate_metric(self, data):
+        X, *_ = data
+        with pytest.raises(ValueError, match="KD-tree"):
+            KDTree(X, metric="l1")
+        with pytest.raises(ValueError, match="KD-tree"):
+            KDTree(X, metric="cosine")
+
+    def test_duplicate_coordinates_terminate(self):
+        X = np.ones((64, 4), dtype=np.float32)
+        tree = KDTree(X, leaf_size=4)
+        _, ids = tree.knn_search(np.ones(4, dtype=np.float32), 3)
+        assert len(ids) == 3
+
+    def test_pruning_in_low_dim(self):
+        """In 3 dimensions the KD-tree prunes most of the dataset per query."""
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(2000, 3)).astype(np.float32)
+        tree = KDTree(X, leaf_size=16)
+        before = tree.n_dist_evals
+        for q in X[:20]:
+            tree.knn_search(q, 5)
+        per_query = (tree.n_dist_evals - before) / 20
+        assert per_query < 0.25 * len(X)
+
+    def test_pruning_collapses_in_high_dim(self):
+        """In 128 dimensions the same tree scans most of the data — the
+        failure mode motivating the paper (§II on PANDA)."""
+        X = sift_like(2000, seed=5)
+        tree = KDTree(X, leaf_size=16)
+        before = tree.n_dist_evals
+        Q = sample_queries(X, 20, noise_scale=0.05, seed=6)
+        for q in Q:
+            tree.knn_search(q, 5)
+        per_query = (tree.n_dist_evals - before) / 20
+        assert per_query > 0.5 * len(X)
+
+
+class TestDistributedKD:
+    def test_partition_and_routing(self, data):
+        X, Q, gt_d, gt_i = data
+        P = 4
+        chunks = np.array_split(np.arange(len(X)), P)
+        sim = Simulation()
+        holder = {}
+
+        def program(ctx):
+            comm = holder["comm"]
+            r = comm.rank(ctx)
+            return (yield from distributed_build_kd(ctx, comm, X[chunks[r]], chunks[r]))
+
+        pids = [sim.add_proc(program, name=f"r{i}") for i in range(P)]
+        holder["comm"] = Comm(sim, pids)
+        out = sim.run()
+        results = [out.results[p] for p in pids]
+
+        sizes = [len(r.ids) for r in results]
+        assert sum(sizes) == len(X) and max(sizes) - min(sizes) <= 1
+        allids = np.sort(np.concatenate([r.ids for r in results]))
+        assert np.array_equal(allids, np.arange(len(X)))
+
+        # half-space containment invariant
+        for res in results:
+            for axis, threshold, went_left in res.path:
+                vals = res.points[:, axis]
+                if went_left:
+                    assert (vals <= threshold + 1e-5).all()
+                else:
+                    assert (vals > threshold - 1e-5).all()
+
+        router = KDPartitionRouter.from_paths([r.path for r in results])
+        id2part = {int(i): r for r in range(P) for i in results[r].ids}
+        for qi in range(len(Q)):
+            parts = set(router.route_exact(Q[qi], float(gt_d[qi][-1]) * (1 + 1e-6)))
+            need = {id2part[int(i)] for i in gt_i[qi]}
+            assert need <= parts
+
+
+class TestKDRouter:
+    def test_route_nearest_is_containing_cell(self, data):
+        X, Q, *_ = data
+        tree = KDTree(X, leaf_size=64)
+        router = KDPartitionRouter.from_kdtree(tree)
+        leaves = tree.leaves()
+        for qi in range(5):
+            p = router.route_nearest(Q[qi])
+            assert 0 <= p < len(leaves)
+
+    def test_exact_route_superset_of_nearest(self, data):
+        X, Q, *_ = data
+        tree = KDTree(X, leaf_size=64)
+        router = KDPartitionRouter.from_kdtree(tree)
+        for qi in range(5):
+            nearest = router.route_nearest(Q[qi])
+            assert nearest in router.route_exact(Q[qi], 1.0)
+
+    def test_negative_tau_rejected(self, data):
+        X, Q, *_ = data
+        router = KDPartitionRouter.from_kdtree(KDTree(X, leaf_size=64))
+        with pytest.raises(ValueError):
+            router.route_exact(Q[0], -0.5)

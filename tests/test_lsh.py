@@ -1,0 +1,86 @@
+"""Unit tests for the LSH index."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import brute_force_knn, sample_queries, sift_like
+from repro.lsh import LSHIndex
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    X = sift_like(1500, dim=32, seed=7)
+    Q = sample_queries(X, 30, noise_scale=0.03, seed=8)
+    gt_d, gt_i = brute_force_knn(X, Q, 5)
+    return X, Q, gt_d, gt_i
+
+
+class TestLSHIndex:
+    def test_exact_duplicate_query_found(self, corpus):
+        X, *_ = corpus
+        idx = LSHIndex(n_tables=8, n_bits=10, seed=1).fit(X)
+        d, ids = idx.knn_search(X[17], 1)
+        assert ids[0] == 17 and d[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_recall_with_enough_tables(self, corpus):
+        X, Q, gt_d, gt_i = corpus
+        idx = LSHIndex(n_tables=16, n_bits=8, bucket_width=12.0, seed=1).fit(X)
+        hits = sum(
+            len(set(idx.knn_search(Q[i], 5)[1]) & set(gt_i[i])) for i in range(len(Q))
+        )
+        assert hits / (len(Q) * 5) >= 0.8
+
+    def test_more_tables_more_recall_more_scan(self, corpus):
+        X, Q, gt_d, gt_i = corpus
+
+        def run(n_tables):
+            idx = LSHIndex(n_tables=n_tables, n_bits=8, bucket_width=6.0, seed=1).fit(X)
+            hits = sum(
+                len(set(idx.knn_search(Q[i], 5)[1]) & set(gt_i[i]))
+                for i in range(len(Q))
+            )
+            return hits, idx.selectivity(Q)
+
+        h2, s2 = run(2)
+        h16, s16 = run(16)
+        assert h16 >= h2
+        assert s16 > s2
+
+    def test_more_bits_more_selective(self, corpus):
+        X, Q, *_ = corpus
+        loose = LSHIndex(n_tables=4, n_bits=4, bucket_width=6.0, seed=1).fit(X)
+        tight = LSHIndex(n_tables=4, n_bits=16, bucket_width=6.0, seed=1).fit(X)
+        assert tight.selectivity(Q) < loose.selectivity(Q)
+
+    def test_external_ids(self, corpus):
+        X, *_ = corpus
+        ids = np.arange(len(X)) + 5000
+        idx = LSHIndex(n_tables=8, n_bits=8, seed=1).fit(X, ids)
+        _, res = idx.knn_search(X[0], 3)
+        assert res[0] == 5000
+
+    def test_empty_bucket_returns_empty(self):
+        X = np.zeros((10, 4), dtype=np.float32) + np.arange(4)
+        idx = LSHIndex(n_tables=2, n_bits=16, bucket_width=0.01, seed=1).fit(X)
+        far = np.full(4, 1e6, dtype=np.float32)
+        d, ids = idx.knn_search(far, 3)
+        assert len(ids) == 0
+
+    def test_validation(self, corpus):
+        X, *_ = corpus
+        with pytest.raises(ValueError):
+            LSHIndex(n_tables=0)
+        with pytest.raises(ValueError):
+            LSHIndex(bucket_width=0)
+        with pytest.raises(RuntimeError, match="fit"):
+            LSHIndex().candidates(X[0])
+        with pytest.raises(ValueError, match="ids"):
+            LSHIndex().fit(X, ids=np.arange(3))
+
+    def test_deterministic(self, corpus):
+        X, Q, *_ = corpus
+        a = LSHIndex(n_tables=4, n_bits=8, seed=9).fit(X)
+        b = LSHIndex(n_tables=4, n_bits=8, seed=9).fit(X)
+        da, ia = a.knn_search(Q[0], 5)
+        db, ib = b.knn_search(Q[0], 5)
+        assert np.array_equal(ia, ib)

@@ -1,0 +1,75 @@
+"""Metric combinations across the distributed system.
+
+The VP router demands a true metric; local HNSW accepts any dissimilarity.
+These tests pin down which combinations the system supports and that the
+documented route for angular search (unit-normalize + L2, since L2 order
+equals cosine order on the sphere) actually achieves cosine-ground-truth
+recall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedANN, SystemConfig
+from repro.datasets import brute_force_knn, deep_like, sample_queries
+from repro.eval import recall_at_k
+from repro.hnsw import HnswParams
+from repro.metrics import get_metric
+
+
+class TestAngularViaUnitNorm:
+    def test_l2_system_matches_cosine_ground_truth_on_sphere(self):
+        X = deep_like(1200, seed=5)  # rows are unit-norm by construction
+        Q = sample_queries(X, 30, noise_scale=0.03, seed=6)
+        Q = (Q / np.linalg.norm(Q, axis=1, keepdims=True)).astype(np.float32)
+        gt_d, gt_i = brute_force_knn(X, Q, 5, metric="cosine")
+        ann = DistributedANN(
+            SystemConfig(
+                n_cores=4, cores_per_node=2, k=5,
+                hnsw=HnswParams(M=8, ef_construction=40, seed=5), n_probe=3, seed=5,
+            )
+        )
+        ann.fit(X)
+        D, I, _ = ann.query(Q, k=5)
+        assert recall_at_k(I, gt_i) >= 0.95
+
+    def test_order_equivalence_identity(self):
+        """||a-b||^2 = 2 - 2 cos(a,b) on the unit sphere: the algebra the
+        route above relies on."""
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=16)
+        b = rng.normal(size=16)
+        a /= np.linalg.norm(a)
+        b /= np.linalg.norm(b)
+        l2 = get_metric("l2").pair(a, b)
+        cos = get_metric("cosine").pair(a, b)
+        assert l2**2 == pytest.approx(2 * cos, abs=1e-9)
+
+
+class TestL1System:
+    def test_l1_metric_end_to_end(self):
+        """VP routing and exact local search both support L1 — the
+        metric-agnostic selling point of VP-trees (§III-B)."""
+        rng = np.random.default_rng(7)
+        X = rng.normal(0, 3, size=(800, 12)).astype(np.float32)
+        Q = (X[:15] + rng.normal(0, 0.2, (15, 12))).astype(np.float32)
+        gt_d, gt_i = brute_force_knn(X, Q, 5, metric="l1")
+        ann = DistributedANN(
+            SystemConfig(
+                n_cores=4, cores_per_node=2, k=5, metric="l1",
+                hnsw=HnswParams(M=8, ef_construction=40, seed=7), n_probe=4, seed=7,
+            )
+        )
+        ann.fit(X)
+        D, I, _ = ann.query(Q, k=5)
+        assert recall_at_k(I, gt_i, gt_d, D) >= 0.9
+
+
+class TestRejectedCombinations:
+    def test_non_metric_rejected_at_fit(self):
+        X = np.random.default_rng(1).normal(size=(100, 8)).astype(np.float32)
+        ann = DistributedANN(
+            SystemConfig(n_cores=2, cores_per_node=2, metric="cosine", seed=1)
+        )
+        with pytest.raises(Exception, match="true metric"):
+            ann.fit(X)

@@ -1,0 +1,127 @@
+"""Unit tests for the distance-metric package."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    CosineDistance,
+    EuclideanMetric,
+    available_metrics,
+    get_metric,
+)
+from repro.metrics.base import Metric, register_metric
+
+
+RNG = np.random.default_rng(5)
+A = RNG.normal(size=(20, 16)).astype(np.float32)
+B = RNG.normal(size=(12, 16)).astype(np.float32)
+
+
+class TestRegistry:
+    def test_available_contains_all_builtins(self):
+        for name in ("l2", "sqeuclidean", "l1", "linf", "cosine", "ip"):
+            assert name in available_metrics()
+
+    def test_get_by_name_and_passthrough(self):
+        m = get_metric("l2")
+        assert isinstance(m, EuclideanMetric)
+        assert get_metric(m) is m
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_metric("no-such-metric")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_metric
+            class Dup(EuclideanMetric):
+                name = "l2"
+
+    def test_unnamed_registration_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+
+            @register_metric
+            class NoName(Metric):
+                def pair(self, a, b):  # pragma: no cover
+                    return 0.0
+
+                def one_to_many(self, q, X):  # pragma: no cover
+                    return np.zeros(len(X))
+
+
+@pytest.mark.parametrize("name", ["l2", "sqeuclidean", "l1", "linf", "cosine", "ip"])
+class TestConsistency:
+    """pair / one_to_many / pairwise must agree for every metric."""
+
+    def test_one_to_many_matches_pair(self, name):
+        m = get_metric(name)
+        d = m.one_to_many(A[0], B)
+        expected = [m.pair(A[0], B[j]) for j in range(len(B))]
+        assert np.allclose(d, expected, atol=1e-5)
+
+    def test_pairwise_matches_one_to_many(self, name):
+        m = get_metric(name)
+        M = m.pairwise(A, B)
+        assert M.shape == (len(A), len(B))
+        for i in range(0, len(A), 5):
+            assert np.allclose(M[i], m.one_to_many(A[i], B), atol=1e-5)
+
+    def test_self_distance_is_minimal(self, name):
+        m = get_metric(name)
+        d_self = m.pair(A[0], A[0])
+        d_other = m.pair(A[0], A[1])
+        assert d_self <= d_other + 1e-9
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        m = get_metric("l2")
+        assert m.pair(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_matches_numpy_norm(self):
+        m = get_metric("l2")
+        d = m.one_to_many(A[0], B)
+        ref = np.linalg.norm(B.astype(np.float64) - A[0].astype(np.float64), axis=1)
+        assert np.allclose(d, ref, atol=1e-6)
+
+    def test_pairwise_no_negative_from_cancellation(self):
+        X = np.full((4, 8), 1e3, dtype=np.float32)
+        m = get_metric("l2")
+        assert (m.pairwise(X, X) >= 0).all()
+
+    def test_is_true_metric_flag(self):
+        assert get_metric("l2").is_true_metric
+        assert not get_metric("sqeuclidean").is_true_metric
+        assert not get_metric("cosine").is_true_metric
+
+
+class TestCosine:
+    def test_orthogonal_is_one(self):
+        m = CosineDistance()
+        assert m.pair(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_parallel_is_zero(self):
+        m = CosineDistance()
+        assert m.pair(np.array([2.0, 0.0]), np.array([5.0, 0.0])) == pytest.approx(0.0)
+
+    def test_scale_invariance(self):
+        m = CosineDistance()
+        assert m.pair(A[0], A[1]) == pytest.approx(m.pair(A[0] * 3, A[1] * 0.5), abs=1e-6)
+
+
+class TestManhattanChebyshev:
+    def test_l1_known_value(self):
+        m = get_metric("l1")
+        assert m.pair(np.array([0.0, 0.0]), np.array([1.0, -2.0])) == pytest.approx(3.0)
+
+    def test_linf_known_value(self):
+        m = get_metric("linf")
+        assert m.pair(np.array([0.0, 0.0]), np.array([1.0, -2.0])) == pytest.approx(2.0)
+
+    def test_lp_ordering(self):
+        """linf <= l2 <= l1 for any pair."""
+        l1 = get_metric("l1").pair(A[0], A[1])
+        l2 = get_metric("l2").pair(A[0], A[1])
+        linf = get_metric("linf").pair(A[0], A[1])
+        assert linf <= l2 + 1e-9 <= l1 + 1e-9

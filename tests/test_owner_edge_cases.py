@@ -1,0 +1,52 @@
+"""Edge cases of the multiple-owner strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedANN, SystemConfig
+from repro.datasets import sample_queries, sift_like
+from repro.hnsw import HnswParams
+
+
+def make(owner_queries_fewer_than_nodes: bool):
+    X = sift_like(600, dim=16, seed=58)
+    n_q = 3 if owner_queries_fewer_than_nodes else 24
+    Q = sample_queries(X, n_q, noise_scale=0.05, seed=59)
+    ann = DistributedANN(
+        SystemConfig(
+            n_cores=8,
+            cores_per_node=2,  # 4 nodes
+            k=5,
+            hnsw=HnswParams(M=8, ef_construction=30, seed=58),
+            n_probe=2,
+            one_sided=False,
+            owner_strategy="multiple",
+            seed=58,
+        )
+    )
+    ann.fit(X)
+    return ann, Q
+
+
+class TestMultipleOwnerEdges:
+    def test_fewer_queries_than_owner_nodes(self):
+        """Some owners have zero queries; they must still join the final
+        barrier and shutdown broadcast without deadlocking."""
+        ann, Q = make(owner_queries_fewer_than_nodes=True)
+        D, I, rep = ann.query(Q)
+        assert rep.n_queries == 3
+        assert (I[:, 0] >= 0).all()
+
+    def test_every_query_answered_once(self):
+        ann, Q = make(owner_queries_fewer_than_nodes=False)
+        D, I, rep = ann.query(Q)
+        assert np.isfinite(D[:, 0]).all()
+        assert rep.tasks == len(Q) * 2  # n_probe tasks per query
+
+    def test_deterministic(self):
+        a_ann, Q = make(False)
+        _, Ia, ra = a_ann.query(Q)
+        b_ann, _ = make(False)
+        _, Ib, rb = b_ann.query(Q)
+        assert np.array_equal(Ia, Ib)
+        assert ra.total_seconds == rb.total_seconds

@@ -1,0 +1,92 @@
+"""Property-based tests for heaps, KnnBuffer and merge_knn.
+
+merge_knn is the combiner behind *both* result-return paths of the system;
+its correctness against a sort-based oracle and its commutativity /
+associativity are what make one-sided accumulation order-insensitive.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heaps import KnnBuffer, merge_knn
+
+_pairs = st.lists(
+    st.tuples(
+        st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+        st.integers(0, 1000),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs=_pairs, k=st.integers(1, 12))
+def test_knnbuffer_matches_sort_oracle(pairs, k):
+    buf = KnnBuffer(k)
+    for d, i in pairs:
+        buf.offer(d, i)
+    d, ids = buf.result()
+    oracle = sorted(pairs)[:k]
+    assert len(d) == min(k, len(pairs))
+    # distances must match the k smallest (ids may differ only on exact ties)
+    assert np.allclose(d, [p[0] for p in oracle])
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs=_pairs, k=st.integers(1, 12))
+def test_knnbuffer_tau_is_kth_distance(pairs, k):
+    buf = KnnBuffer(k)
+    for d, i in pairs:
+        buf.offer(d, i)
+    if len(pairs) < k:
+        assert buf.tau == float("inf")
+    else:
+        assert buf.tau == sorted(p[0] for p in pairs)[k - 1]
+
+
+def _to_result(pairs):
+    if not pairs:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    d = np.array([p[0] for p in pairs])
+    i = np.array([p[1] for p in pairs], dtype=np.int64)
+    return d, i
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=_pairs, b=_pairs, k=st.integers(1, 10))
+def test_merge_knn_commutative(a, b, k):
+    r1 = merge_knn([_to_result(a), _to_result(b)], k)
+    r2 = merge_knn([_to_result(b), _to_result(a)], k)
+    assert np.array_equal(r1[1], r2[1])
+    assert np.allclose(r1[0], r2[0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_pairs, b=_pairs, c=_pairs, k=st.integers(1, 10))
+def test_merge_knn_associative(a, b, c, k):
+    parts = [_to_result(x) for x in (a, b, c)]
+    flat = merge_knn(parts, k)
+    nested = merge_knn([merge_knn(parts[:2], k), parts[2]], k)
+    assert np.array_equal(flat[1], nested[1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_pairs, k=st.integers(1, 10))
+def test_merge_knn_idempotent(a, k):
+    """Merging the same local result twice (replicated partitions answering
+    one query twice) must change nothing."""
+    r = _to_result(a)
+    once = merge_knn([r], k)
+    twice = merge_knn([r, r], k)
+    assert np.array_equal(once[1], twice[1])
+    assert np.allclose(once[0], twice[0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_pairs, k=st.integers(1, 10))
+def test_merge_knn_output_sorted_unique(a, k):
+    d, i = merge_knn([_to_result(a)], k)
+    assert len(set(i.tolist())) == len(i)
+    assert np.all(np.diff(d) >= -1e-12)

@@ -1,0 +1,56 @@
+"""Property-based tests (hypothesis) for metric axioms.
+
+The VP-tree's pruning correctness rests on the triangle inequality of the
+metrics flagged ``is_true_metric``; these properties are the load-bearing
+invariants.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import get_metric
+
+_vec = arrays(
+    np.float64,
+    (8,),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+
+TRUE_METRICS = ["l2", "l1", "linf"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_vec, b=_vec, c=_vec, name=st.sampled_from(TRUE_METRICS))
+def test_triangle_inequality(a, b, c, name):
+    m = get_metric(name)
+    ab = m.pair(a, b)
+    bc = m.pair(b, c)
+    ac = m.pair(a, c)
+    assert ac <= ab + bc + 1e-7 * (1 + ab + bc)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_vec, b=_vec, name=st.sampled_from(TRUE_METRICS + ["sqeuclidean", "cosine"]))
+def test_symmetry_and_nonnegativity(a, b, name):
+    m = get_metric(name)
+    d1, d2 = m.pair(a, b), m.pair(b, a)
+    assert d1 >= -1e-9
+    assert abs(d1 - d2) <= 1e-7 * (1 + abs(d1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_vec, name=st.sampled_from(TRUE_METRICS + ["sqeuclidean"]))
+def test_identity(a, name):
+    m = get_metric(name)
+    assert m.pair(a, a) <= 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=_vec, b=_vec)
+def test_sqeuclidean_monotone_with_l2(a, b):
+    """sqeuclidean must induce the same ordering as l2 (k-NN equivalence)."""
+    l2 = get_metric("l2")
+    sq = get_metric("sqeuclidean")
+    assert abs(sq.pair(a, b) - l2.pair(a, b) ** 2) <= 1e-6 * (1 + sq.pair(a, b))

@@ -1,0 +1,90 @@
+"""Property-based tests on the simulation engine's invariants.
+
+The correctness of every benchmark number rests on these: virtual clocks
+never go backwards, messages are neither lost nor duplicated, and the
+makespan is insensitive to the order in which procs were registered.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import Comm, Simulation
+
+
+@st.composite
+def comm_script(draw):
+    """A random but deadlock-free SPMD script: per round, a permutation
+    tells every rank whom to message; everyone sends one and receives one."""
+    n_ranks = draw(st.integers(2, 6))
+    n_rounds = draw(st.integers(1, 5))
+    rounds = []
+    for _ in range(n_rounds):
+        perm = draw(st.permutations(list(range(n_ranks))))
+        compute = draw(
+            st.lists(
+                st.floats(0, 1e-3, allow_nan=False), min_size=n_ranks, max_size=n_ranks
+            )
+        )
+        rounds.append((list(perm), compute))
+    return n_ranks, rounds
+
+
+def run_script(n_ranks, rounds, order=None):
+    sim = Simulation()
+    holder = {}
+    order = order or list(range(n_ranks))
+
+    def program(ctx, rank):
+        comm = holder["comm"]
+        clocks = [ctx.now]
+        received = []
+        for perm, compute in rounds:
+            yield from ctx.compute(compute[rank], kind="w")
+            dest = perm[rank]
+            src = perm.index(rank)
+            yield from comm.send(ctx, dest, (rank, len(received)), tag=0)
+            payload, s, _ = yield from comm.recv(ctx, source=src, tag=0)
+            received.append(payload)
+            clocks.append(ctx.now)
+        return clocks, received
+
+    pids = {}
+    for rank in order:
+        pids[rank] = sim.add_proc(program, rank, name=f"r{rank}")
+    # comm rank i == logical rank i regardless of registration order
+    holder["comm"] = Comm(sim, [pids[r] for r in range(n_ranks)])
+    out = sim.run()
+    return out, {r: out.results[pids[r]] for r in range(n_ranks)}
+
+
+@settings(max_examples=30, deadline=None)
+@given(script=comm_script())
+def test_clocks_monotone(script):
+    n_ranks, rounds = script
+    _, results = run_script(n_ranks, rounds)
+    for clocks, _ in results.values():
+        assert all(b >= a for a, b in zip(clocks, clocks[1:]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(script=comm_script())
+def test_messages_neither_lost_nor_duplicated(script):
+    n_ranks, rounds = script
+    _, results = run_script(n_ranks, rounds)
+    # every sent (sender, round) pair is received exactly once globally
+    all_received = [p for _, received in results.values() for p in received]
+    assert len(all_received) == n_ranks * len(rounds)
+    assert len(set(all_received)) == len(all_received)
+
+
+@settings(max_examples=20, deadline=None)
+@given(script=comm_script(), data=st.data())
+def test_registration_order_does_not_change_times(script, data):
+    n_ranks, rounds = script
+    out1, res1 = run_script(n_ranks, rounds)
+    order = data.draw(st.permutations(list(range(n_ranks))))
+    out2, res2 = run_script(n_ranks, rounds, order=list(order))
+    assert out1.makespan == out2.makespan
+    for r in range(n_ranks):
+        assert res1[r][0] == res2[r][0]  # identical per-rank clock traces

@@ -1,0 +1,85 @@
+"""Property-based tests on the search structures.
+
+The heavyweight invariants: exact tree searches must equal brute force on
+arbitrary inputs, exact routing must cover every partition holding a true
+neighbor, and the distributed median must equal the serial k-th statistic.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import brute_force_knn
+from repro.kdtree import KDTree
+from repro.vptree import PartitionRouter, VPTree
+from repro.vptree.median import weighted_median
+
+
+@st.composite
+def point_cloud(draw, max_n=120, dim_range=(2, 8)):
+    n = draw(st.integers(20, max_n))
+    dim = draw(st.integers(*dim_range))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    kind = draw(st.sampled_from(["normal", "clustered", "grid"]))
+    if kind == "normal":
+        X = rng.normal(size=(n, dim))
+    elif kind == "clustered":
+        centers = rng.normal(0, 10, size=(3, dim))
+        X = centers[rng.integers(0, 3, n)] + rng.normal(0, 0.5, size=(n, dim))
+    else:
+        X = rng.integers(0, 4, size=(n, dim)).astype(float)  # many exact ties
+    return X.astype(np.float32)
+
+
+@settings(max_examples=25, deadline=None)
+@given(X=point_cloud(), k=st.integers(1, 5), leaf=st.integers(1, 16))
+def test_vptree_exact_equals_brute_force(X, k, leaf):
+    tree = VPTree(X, leaf_size=leaf, seed=0)
+    gt_d, gt_i = brute_force_knn(X, X[:5], k)
+    for qi in range(5):
+        d, ids = tree.knn_search(X[qi], k)
+        assert np.allclose(np.sort(d), gt_d[qi], atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(X=point_cloud(), k=st.integers(1, 5), leaf=st.integers(1, 16))
+def test_kdtree_exact_equals_brute_force(X, k, leaf):
+    tree = KDTree(X, leaf_size=leaf)
+    gt_d, gt_i = brute_force_knn(X, X[:5], k)
+    for qi in range(5):
+        d, ids = tree.knn_search(X[qi], k)
+        assert np.allclose(np.sort(d), gt_d[qi], atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(X=point_cloud(max_n=100), k=st.integers(1, 4))
+def test_exact_routing_covers_true_neighbor_partitions(X, k):
+    tree = VPTree(X, leaf_size=16, seed=1)
+    router = PartitionRouter.from_vptree(tree)
+    leaves = tree.leaves()
+    id2leaf = {int(i): li for li, l in enumerate(leaves) for i in l}
+    gt_d, gt_i = brute_force_knn(X, X[:4], k)
+    for qi in range(4):
+        tau = float(gt_d[qi][-1]) * (1 + 1e-7) + 1e-7
+        parts = set(router.route_exact(X[qi], tau))
+        need = {id2leaf[int(i)] for i in gt_i[qi]}
+        assert need <= parts
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(-1e6, 1e6, allow_nan=False, width=32), min_size=1, max_size=200),
+    weights=st.data(),
+)
+def test_weighted_median_within_range(values, weights):
+    v = np.array(values)
+    w = np.array(
+        weights.draw(
+            st.lists(st.floats(0.1, 100), min_size=len(values), max_size=len(values))
+        )
+    )
+    med = weighted_median(v, w)
+    assert v.min() <= med <= v.max()
+    # at least half the weight is <= med
+    assert w[v <= med].sum() >= w.sum() / 2 - 1e-6

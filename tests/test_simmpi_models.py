@@ -1,0 +1,112 @@
+"""Unit tests for the network and cost models and the topology."""
+
+import pytest
+
+from repro.simmpi import (
+    ARIES_LIKE,
+    ETHERNET_LIKE,
+    XC40_AT_SCALE,
+    ClusterTopology,
+    CostModel,
+    NetworkModel,
+    calibrate_cost_model,
+)
+from repro.simmpi.errors import SimConfigError
+
+
+class TestNetworkModel:
+    def test_p2p_scales_with_bytes(self):
+        n = NetworkModel()
+        assert n.p2p_time(10**6, False) > n.p2p_time(10, False)
+
+    def test_intra_faster_than_inter(self):
+        n = NetworkModel()
+        assert n.p2p_time(1000, True) < n.p2p_time(1000, False)
+
+    def test_collectives_grow_with_ranks(self):
+        n = NetworkModel()
+        assert n.barrier_time(1024) > n.barrier_time(4)
+        assert n.bcast_time(1024, 100) > n.bcast_time(4, 100)
+        assert n.alltoallv_time(1024, 100, 100 * 1024) > n.alltoallv_time(4, 100, 400)
+
+    def test_single_rank_collectives_free(self):
+        n = NetworkModel()
+        assert n.barrier_time(1) == 0.0
+        assert n.bcast_time(1, 10**9) == 0.0
+        assert n.alltoallv_time(1, 0, 0) == 0.0
+
+    def test_straggler_term_off_by_default(self):
+        assert ARIES_LIKE.barrier_time(8192) < 1e-3
+        assert XC40_AT_SCALE.barrier_time(8192) > 0.1
+
+    def test_rma_cheaper_than_send_recv_roundtrip(self):
+        """One-sided accumulate must beat a p2p round trip plus target CPU —
+        the premise of the paper's optimisation."""
+        n = NetworkModel()
+        rma = n.rma_accumulate_time(200, False)
+        two_sided = 2 * n.p2p_time(200, False) + 2 * n.sw_overhead
+        assert rma < two_sided
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SimConfigError):
+            NetworkModel(inter_latency=0.0)
+        with pytest.raises(SimConfigError):
+            NetworkModel(straggler_coeff=-1.0)
+
+    def test_ethernet_slower_than_aries(self):
+        assert ETHERNET_LIKE.p2p_time(10**6, False) > ARIES_LIKE.p2p_time(10**6, False)
+
+
+class TestCostModel:
+    def test_distance_cost_linear_in_evals_and_dim(self):
+        c = CostModel()
+        assert c.distance_cost(200, 128) == pytest.approx(2 * c.distance_cost(100, 128))
+        assert c.distance_cost(100, 256) > c.distance_cost(100, 128)
+
+    def test_hnsw_search_cost_grows_with_size_and_ef(self):
+        c = CostModel()
+        assert c.hnsw_search_cost(10**9, 128, 50, 16) > c.hnsw_search_cost(10**6, 128, 50, 16)
+        assert c.hnsw_search_cost(10**6, 128, 200, 16) > c.hnsw_search_cost(10**6, 128, 50, 16)
+
+    def test_hnsw_build_cost_superlinear_in_points(self):
+        c = CostModel()
+        assert c.hnsw_build_cost(20000, 128, 100, 16) > 2 * c.hnsw_build_cost(10000, 128, 100, 16)
+
+    def test_tiny_partition_search_has_floor(self):
+        c = CostModel()
+        assert c.hnsw_search_cost(1, 128, 50, 16) > 0
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(SimConfigError):
+            CostModel(sec_per_madd=0.0)
+
+    def test_calibration_produces_positive_rates(self):
+        c = calibrate_cost_model(dim=32, n=2000, repeats=1)
+        assert c.sec_per_madd > 0
+        assert c.sec_per_dist_call > 0
+
+
+class TestTopology:
+    def test_node_mapping_blocks(self):
+        t = ClusterTopology(n_ranks=48, cores_per_node=24)
+        assert t.n_nodes == 2
+        assert t.node_of(0) == 0 and t.node_of(23) == 0 and t.node_of(24) == 1
+        assert list(t.ranks_on_node(1)) == list(range(24, 48))
+
+    def test_partial_last_node(self):
+        t = ClusterTopology(n_ranks=30, cores_per_node=24)
+        assert t.n_nodes == 2
+        assert list(t.ranks_on_node(1)) == list(range(24, 30))
+
+    def test_same_node(self):
+        t = ClusterTopology(n_ranks=8, cores_per_node=4)
+        assert t.same_node(0, 3) and not t.same_node(3, 4)
+
+    def test_bad_args(self):
+        with pytest.raises(SimConfigError):
+            ClusterTopology(n_ranks=0)
+        t = ClusterTopology(n_ranks=4, cores_per_node=2)
+        with pytest.raises(SimConfigError):
+            t.node_of(4)
+        with pytest.raises(SimConfigError):
+            t.ranks_on_node(2)

@@ -1,0 +1,126 @@
+"""Unit tests for one-sided RMA windows."""
+
+import pytest
+
+from repro.simmpi import Comm, Simulation, Window
+from repro.simmpi.errors import SimError
+
+
+def make_world(sim, programs):
+    pids = [sim.add_proc(p, node=i, name=f"r{i}") for i, p in enumerate(programs)]
+    return Comm(sim, pids), pids
+
+
+class TestWindow:
+    def test_accumulate_applies_combiner(self):
+        sim = Simulation()
+        slots = [0, 0, 0]
+        win = Window(0, 0, slots, combine=lambda old, new: old + new)
+        holder = {}
+
+        def owner(ctx):
+            yield from holder["comm"].barrier(ctx)
+
+        def origin(ctx):
+            yield from win.lock_shared(ctx)
+            for i in range(3):
+                yield from win.get_accumulate(ctx, i, 10)
+            yield from win.unlock(ctx)
+            yield from holder["comm"].barrier(ctx)
+
+        comm, pids = make_world(sim, [owner, origin, origin])
+        holder["comm"] = comm
+        sim.run()
+        assert slots == [20, 20, 20]
+        assert win.accum_count == 6
+
+    def test_get_part_returns_old_value(self):
+        sim = Simulation()
+        slots = {0: "initial"}
+        win = Window(0, 0, slots, combine=lambda old, new: new)
+
+        def origin(ctx):
+            yield from win.lock_shared(ctx)
+            old = yield from win.get_accumulate(ctx, 0, "updated")
+            yield from win.unlock(ctx)
+            return old
+
+        pid = sim.add_proc(origin, node=1)
+        out = sim.run()
+        assert out.results[pid] == "initial"
+        assert slots[0] == "updated"
+
+    def test_accumulate_without_lock_raises(self):
+        sim = Simulation()
+        win = Window(0, 0, [None], combine=lambda o, n: n)
+
+        def origin(ctx):
+            yield from win.get_accumulate(ctx, 0, 1)
+
+        sim.add_proc(origin)
+        with pytest.raises(SimError, match="lock epoch"):
+            sim.run()
+
+    def test_double_lock_raises(self):
+        sim = Simulation()
+        win = Window(0, 0, [None], combine=lambda o, n: n)
+
+        def origin(ctx):
+            yield from win.lock_shared(ctx)
+            yield from win.lock_shared(ctx)
+
+        sim.add_proc(origin)
+        with pytest.raises(SimError, match="already holds"):
+            sim.run()
+
+    def test_unlock_without_lock_raises(self):
+        sim = Simulation()
+        win = Window(0, 0, [None], combine=lambda o, n: n)
+
+        def origin(ctx):
+            yield from win.unlock(ctx)
+
+        sim.add_proc(origin)
+        with pytest.raises(SimError, match="does not hold"):
+            sim.run()
+
+    def test_owner_read_restricted_to_owner(self):
+        sim = Simulation()
+        win = Window(0, 0, [42], combine=lambda o, n: n)
+
+        def owner_ok(ctx):
+            yield from ctx.compute(0)
+            return win.read(ctx, 0)
+
+        def not_owner(ctx):
+            yield from ctx.compute(0)
+            win.read(ctx, 0)
+
+        sim.add_proc(owner_ok)   # pid 0 == win owner
+        sim.add_proc(not_owner)  # pid 1 must be rejected
+        with pytest.raises(SimError, match="owner"):
+            sim.run()
+
+    def test_origin_charged_target_free(self):
+        """The RMA origin pays time; the window owner's clock is untouched —
+        the property that removes the master bottleneck (Fig. 2)."""
+        sim = Simulation()
+        win = Window(0, 0, [0] * 100, combine=lambda o, n: o + n)
+
+        def owner(ctx):
+            yield from ctx.compute(0.0)
+            return ctx.now
+
+        def origin(ctx):
+            yield from win.lock_shared(ctx)
+            for i in range(100):
+                yield from win.get_accumulate(ctx, i, 1)
+            yield from win.unlock(ctx)
+            return ctx.now
+
+        o = sim.add_proc(owner)
+        g = sim.add_proc(origin, node=1)
+        out = sim.run()
+        assert out.results[o] == pytest.approx(0.0)
+        assert out.results[g] > 100 * 1.8e-6  # >= 100 RMA round-trips
+        assert out.stats[g].rma_ops == 100

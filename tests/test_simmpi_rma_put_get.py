@@ -1,0 +1,98 @@
+"""Unit tests for Win.put / Win.get and Comm.scatter."""
+
+import pytest
+
+from repro.simmpi import Comm, Simulation, Window
+from repro.simmpi.errors import SimError
+
+
+class TestPutGet:
+    def test_put_then_get_roundtrip(self):
+        sim = Simulation()
+        win = Window(0, 0, {0: None}, combine=lambda o, n: n)
+
+        def owner(ctx):
+            yield from ctx.compute(0)
+
+        def origin(ctx):
+            yield from win.lock_shared(ctx)
+            yield from win.put(ctx, 0, {"payload": 7})
+            value = yield from win.get(ctx, 0)
+            yield from win.unlock(ctx)
+            return value
+
+        sim.add_proc(owner)
+        pid = sim.add_proc(origin, node=1)
+        out = sim.run()
+        assert out.results[pid] == {"payload": 7}
+
+    def test_put_without_lock_raises(self):
+        sim = Simulation()
+        win = Window(0, 0, [None], combine=lambda o, n: n)
+
+        def origin(ctx):
+            yield from win.put(ctx, 0, 1)
+
+        sim.add_proc(origin)
+        with pytest.raises(SimError, match="lock epoch"):
+            sim.run()
+
+    def test_get_without_lock_raises(self):
+        sim = Simulation()
+        win = Window(0, 0, [1], combine=lambda o, n: n)
+
+        def origin(ctx):
+            yield from win.get(ctx, 0)
+
+        sim.add_proc(origin)
+        with pytest.raises(SimError, match="lock epoch"):
+            sim.run()
+
+    def test_put_charges_origin_time(self):
+        sim = Simulation()
+        win = Window(0, 0, [None] * 10, combine=lambda o, n: n)
+
+        def owner(ctx):
+            yield from ctx.compute(0)
+
+        def origin(ctx):
+            yield from win.lock_shared(ctx)
+            for i in range(10):
+                yield from win.put(ctx, i, i)
+            yield from win.unlock(ctx)
+            return ctx.now
+
+        sim.add_proc(owner)
+        pid = sim.add_proc(origin, node=1)
+        out = sim.run()
+        assert out.results[pid] > 10 * 1.8e-6
+
+
+class TestScatter:
+    def test_scatter_distributes_by_rank(self):
+        sim = Simulation()
+        holder = {}
+
+        def p(ctx):
+            comm = holder["comm"]
+            data = [r * 11 for r in range(comm.size)] if comm.rank(ctx) == 1 else None
+            return (yield from comm.scatter(ctx, data, root=1))
+
+        pids = [sim.add_proc(p, name=f"r{i}") for i in range(4)]
+        holder["comm"] = Comm(sim, pids)
+        out = sim.run()
+        assert [out.results[p_] for p_ in pids] == [0, 11, 22, 33]
+
+    def test_scatter_wrong_length_raises(self):
+        sim = Simulation()
+        holder = {}
+
+        def p(ctx):
+            comm = holder["comm"]
+            data = [1, 2] if comm.rank(ctx) == 0 else None  # 3 ranks, 2 values
+            yield from comm.scatter(ctx, data, root=0)
+
+        pids = [sim.add_proc(p) for _ in range(3)]
+        holder["comm"] = Comm(sim, pids)
+        with pytest.raises(SimError, match="one value per rank"):
+            sim.run()

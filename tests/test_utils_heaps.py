@@ -1,0 +1,139 @@
+"""Unit tests for bounded heaps and the k-NN merge reduction."""
+
+import numpy as np
+import pytest
+
+from repro.utils.heaps import KnnBuffer, MaxHeap, MinHeap, merge_knn
+
+
+class TestMinHeap:
+    def test_pop_order_is_ascending(self):
+        h = MinHeap([(3.0, 3), (1.0, 1), (2.0, 2)])
+        assert h.pop() == (1.0, 1)
+        assert h.pop() == (2.0, 2)
+        assert h.pop() == (3.0, 3)
+
+    def test_push_then_peek(self):
+        h = MinHeap()
+        h.push(5.0, 50)
+        h.push(1.5, 15)
+        assert h.peek() == (1.5, 15)
+        assert len(h) == 2
+
+    def test_bool_and_len(self):
+        h = MinHeap()
+        assert not h
+        h.push(1.0, 1)
+        assert h and len(h) == 1
+
+
+class TestMaxHeap:
+    def test_pop_order_is_descending(self):
+        h = MaxHeap([(3.0, 3), (1.0, 1), (2.0, 2)])
+        assert h.pop() == (3.0, 3)
+        assert h.pop() == (2.0, 2)
+
+    def test_max_dist_empty_is_inf(self):
+        assert MaxHeap().max_dist() == float("inf")
+
+    def test_max_dist_tracks_farthest(self):
+        h = MaxHeap([(1.0, 1)])
+        assert h.max_dist() == 1.0
+        h.push(9.0, 9)
+        assert h.max_dist() == 9.0
+        h.pop()
+        assert h.max_dist() == 1.0
+
+    def test_sorted_items(self):
+        h = MaxHeap([(2.0, 2), (1.0, 1), (3.0, 3)])
+        assert h.sorted_items() == [(1.0, 1), (2.0, 2), (3.0, 3)]
+
+
+class TestKnnBuffer:
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            KnnBuffer(0)
+
+    def test_tau_is_inf_until_full(self):
+        buf = KnnBuffer(3)
+        buf.offer(1.0, 1)
+        buf.offer(2.0, 2)
+        assert buf.tau == float("inf")
+        buf.offer(3.0, 3)
+        assert buf.tau == 3.0
+
+    def test_offer_evicts_farthest(self):
+        buf = KnnBuffer(2)
+        buf.offer(5.0, 5)
+        buf.offer(3.0, 3)
+        assert buf.offer(1.0, 1)  # evicts 5
+        d, i = buf.result()
+        assert list(i) == [1, 3]
+
+    def test_offer_rejects_too_far(self):
+        buf = KnnBuffer(2)
+        buf.offer(1.0, 1)
+        buf.offer(2.0, 2)
+        assert not buf.offer(9.0, 9)
+
+    def test_offer_many_matches_sequential_offers(self):
+        rng = np.random.default_rng(0)
+        d = rng.random(100)
+        ids = np.arange(100)
+        a = KnnBuffer(7)
+        a.offer_many(d, ids)
+        b = KnnBuffer(7)
+        for dd, ii in zip(d, ids):
+            b.offer(float(dd), int(ii))
+        assert np.allclose(a.result()[0], b.result()[0])
+        assert np.array_equal(a.result()[1], b.result()[1])
+
+    def test_result_sorted_closest_first(self):
+        buf = KnnBuffer(3)
+        for d, i in [(3.0, 3), (1.0, 1), (2.0, 2)]:
+            buf.offer(d, i)
+        d, i = buf.result()
+        assert list(d) == [1.0, 2.0, 3.0]
+        assert list(i) == [1, 2, 3]
+
+    def test_empty_result(self):
+        d, i = KnnBuffer(3).result()
+        assert len(d) == 0 and len(i) == 0
+
+
+class TestMergeKnn:
+    def test_merge_two_disjoint(self):
+        a = (np.array([1.0, 3.0]), np.array([10, 30]))
+        b = (np.array([2.0, 4.0]), np.array([20, 40]))
+        d, i = merge_knn([a, b], 3)
+        assert list(i) == [10, 20, 30]
+
+    def test_duplicates_collapse_to_best_distance(self):
+        a = (np.array([5.0]), np.array([7]))
+        b = (np.array([1.0]), np.array([7]))
+        d, i = merge_knn([a, b], 2)
+        assert list(i) == [7]
+        assert list(d) == [1.0]
+
+    def test_ties_broken_by_id(self):
+        a = (np.array([1.0]), np.array([9]))
+        b = (np.array([1.0]), np.array([2]))
+        d, i = merge_knn([a, b], 2)
+        assert list(i) == [2, 9]
+
+    def test_empty_inputs(self):
+        d, i = merge_knn([], 3)
+        assert len(d) == 0
+        d, i = merge_knn([(np.array([]), np.array([]))], 3)
+        assert len(d) == 0
+
+    def test_merge_is_associative_on_random_data(self):
+        rng = np.random.default_rng(3)
+        parts = [
+            (rng.random(5), rng.integers(0, 50, 5).astype(np.int64)) for _ in range(4)
+        ]
+        k = 6
+        all_at_once = merge_knn(parts, k)
+        pairwise = merge_knn([merge_knn(parts[:2], k), merge_knn(parts[2:], k)], k)
+        assert np.array_equal(all_at_once[1], pairwise[1])
+        assert np.allclose(all_at_once[0], pairwise[0])

@@ -1,0 +1,41 @@
+"""Unit tests for deterministic RNG fan-out."""
+
+import numpy as np
+
+from repro.utils.rng import rng_for, spawn_rngs
+
+
+class TestSpawnRngs:
+    def test_same_seed_same_streams(self):
+        a = spawn_rngs(42, 3)
+        b = spawn_rngs(42, 3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.random(5), y.random(5))
+
+    def test_streams_are_distinct(self):
+        a, b = spawn_rngs(42, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(1)
+        children = spawn_rngs(parent, 2)
+        assert len(children) == 2
+        assert not np.array_equal(children[0].random(5), children[1].random(5))
+
+
+class TestRngFor:
+    def test_reproducible(self):
+        assert np.array_equal(
+            rng_for(7, "rank", 3).random(4), rng_for(7, "rank", 3).random(4)
+        )
+
+    def test_path_components_distinguish(self):
+        a = rng_for(7, "rank", 3).random(8)
+        b = rng_for(7, "rank", 4).random(8)
+        c = rng_for(7, "node", 3).random(8)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_string_and_int_paths_mix(self):
+        g = rng_for(0, "vpbuild", 2, "x")
+        assert 0.0 <= g.random() < 1.0

@@ -1,0 +1,76 @@
+"""Unit tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_vector,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+
+class TestCheckMatrix:
+    def test_coerces_dtype_and_contiguity(self):
+        X = np.arange(12, dtype=np.float64).reshape(3, 4)[:, ::2]
+        out = check_matrix(X, "X")
+        assert out.dtype == np.float32 and out.flags.c_contiguous
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_matrix(np.zeros(3), "X")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_matrix(np.zeros((0, 4)), "X")
+
+    def test_rejects_nan(self):
+        X = np.zeros((2, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            check_matrix(X, "X")
+
+
+class TestCheckVector:
+    def test_dim_check(self):
+        with pytest.raises(ValueError, match="dimension"):
+            check_vector(np.zeros(3), "q", dim=4)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_vector(np.zeros((2, 2)), "q")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_vector(np.array([1.0, np.inf]), "q")
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")

@@ -1,0 +1,80 @@
+"""Unit tests for the distributed selection (median of medians)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Comm, Simulation
+from repro.vptree.median import distributed_select, weighted_median
+
+
+def run_select(chunks, k):
+    """Run distributed_select over the given per-rank value chunks."""
+    sim = Simulation()
+    holder = {}
+
+    def p(ctx):
+        comm = holder["comm"]
+        r = comm.rank(ctx)
+        return (yield from distributed_select(ctx, comm, chunks[r], k))
+
+    pids = [sim.add_proc(p, name=f"r{i}") for i in range(len(chunks))]
+    holder["comm"] = Comm(sim, pids)
+    out = sim.run()
+    return [out.results[p_] for p_ in pids]
+
+
+class TestWeightedMedian:
+    def test_uniform_weights_is_median(self):
+        v = np.array([5.0, 1.0, 3.0])
+        w = np.ones(3)
+        assert weighted_median(v, w) == 3.0
+
+    def test_heavy_weight_dominates(self):
+        v = np.array([1.0, 100.0])
+        w = np.array([10.0, 1.0])
+        assert weighted_median(v, w) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_median(np.array([]), np.array([]))
+
+
+class TestDistributedSelect:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4, 7])
+    def test_matches_serial_kth(self, n_ranks):
+        rng = np.random.default_rng(n_ranks)
+        allv = rng.normal(size=503)
+        chunks = np.array_split(allv, n_ranks)
+        srt = np.sort(allv)
+        for k in (1, 252, 503):
+            res = run_select(chunks, k)
+            assert all(r == pytest.approx(srt[k - 1]) for r in res)
+
+    def test_large_input_uses_pivot_rounds(self):
+        """More elements than the gather limit: must still be exact."""
+        rng = np.random.default_rng(9)
+        allv = rng.normal(size=20_000)
+        chunks = np.array_split(allv, 4)
+        k = 10_000
+        res = run_select(chunks, k)
+        assert res[0] == pytest.approx(np.sort(allv)[k - 1])
+
+    def test_many_duplicates(self):
+        allv = np.concatenate([np.zeros(5000), np.ones(5000)])
+        chunks = np.array_split(allv, 4)
+        assert run_select(chunks, 5000)[0] == 0.0
+        assert run_select(chunks, 5001)[0] == 1.0
+
+    def test_uneven_chunks_including_empty(self):
+        chunks = [np.array([1.0, 2.0, 3.0]), np.array([]), np.array([4.0, 5.0])]
+        assert run_select(chunks, 3)[0] == 3.0
+
+    def test_out_of_range_k(self):
+        with pytest.raises(Exception, match="out of range"):
+            run_select([np.array([1.0])], 2)
+
+    def test_all_ranks_agree(self):
+        rng = np.random.default_rng(11)
+        chunks = [rng.normal(size=100) for _ in range(6)]
+        res = run_select(chunks, 300)
+        assert len(set(res)) == 1
