@@ -1,12 +1,15 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test bench bench-core examples clean
+.PHONY: install test lint bench bench-core examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	ruff check src tests benchmarks examples
 
 # full evaluation-section reproduction (all tables + figures + ablations)
 bench:

@@ -21,7 +21,6 @@ if _SRC not in sys.path:
     except ImportError:
         sys.path.insert(0, _SRC)
 
-import numpy as np
 import pytest
 
 from repro.core import DistributedANN, SystemConfig

@@ -9,7 +9,6 @@ grows — the batching trade-off.  Also reports the latency percentiles
 (two-sided mode so per-query completion is observable).
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import load_dataset, sample_queries

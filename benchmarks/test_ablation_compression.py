@@ -8,7 +8,6 @@ spending more search effort.  This bench measures both recall ceilings on
 the same corpus.
 """
 
-import numpy as np
 
 from repro.datasets import brute_force_knn, sample_queries, sift_like
 from repro.eval import format_table

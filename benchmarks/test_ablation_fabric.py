@@ -6,7 +6,6 @@ comparison on commodity-Ethernet constants to show which conclusions are
 fabric-robust and how much total time degrades.
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import load_dataset

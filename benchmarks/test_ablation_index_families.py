@@ -8,7 +8,6 @@ recall, distance evaluations per query, and bytes per vector: the
 three-way trade every survey plots.
 """
 
-import numpy as np
 
 from repro.datasets import brute_force_knn, sample_queries, sift_like
 from repro.eval import format_table

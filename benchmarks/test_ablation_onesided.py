@@ -7,7 +7,6 @@ transports at growing batch sizes; the master-side saving must grow with
 the batch.
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import load_dataset

@@ -7,7 +7,6 @@ balancing.  This bench compares the two strategies on a skewed workload at
 two scales, with replication enabled for master-worker at the larger one.
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import load_dataset

@@ -6,7 +6,6 @@ sweeps the fixed-probe mode and compares against the adaptive exact-ball
 mode on real indexes, printing the recall/time/fan-out frontier.
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import load_dataset

@@ -8,7 +8,6 @@ above it the projected speedup approaches the raw acceleration factor.
 A projection, not a measurement — labeled as such in EXPERIMENTS.md.
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.core.searcher import GpuModeledSearcher, ModeledSearcher

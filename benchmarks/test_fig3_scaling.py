@@ -13,7 +13,6 @@ serialization would bend the curve.  Routing runs for real on the
 reduced-scale data; the speedup shape then follows from the architecture.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import DistributedANN, SystemConfig

@@ -13,7 +13,6 @@ gain — the spill lands on equally-hot neighbors, because adjacent
 partition ids are spatially adjacent VP leaves; see EXPERIMENTS.md.)
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import load_dataset

@@ -7,7 +7,6 @@ accumulation.  This bench sweeps cores with the modeled paper-scale
 searcher and prints compute vs communication shares.
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import load_dataset

@@ -7,7 +7,6 @@ recalls are genuine measurements, and the virtual query time comes from
 the simulated cluster.
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import load_dataset

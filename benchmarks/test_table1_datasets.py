@@ -5,7 +5,6 @@ paper's Table I, synthesize the analogue, verify its dimension and ground
 truth, and print the roster with paper-scale vs generated point counts.
 """
 
-import numpy as np
 
 from repro.datasets import DATASET_CATALOG, load_dataset
 from repro.eval import format_table

@@ -8,7 +8,6 @@ core count on the straggler-calibrated network model and checks those
 three shape properties.
 """
 
-import numpy as np
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import load_dataset

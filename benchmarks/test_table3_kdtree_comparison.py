@@ -10,7 +10,6 @@ asserted shape: ours is several times faster, the baseline is exact, and
 our recall lands in the paper's 0.8-1.0 band.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import DistributedANN, SystemConfig

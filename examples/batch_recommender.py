@@ -22,7 +22,6 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-import numpy as np
 
 from repro import DistributedANN, SystemConfig
 from repro.datasets import brute_force_knn, deep_like, sample_queries

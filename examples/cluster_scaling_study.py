@@ -18,7 +18,6 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-import numpy as np
 
 from repro import DistributedANN, SystemConfig
 from repro.datasets import load_dataset, sample_queries

@@ -14,7 +14,6 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-import numpy as np
 
 from repro import DistributedANN, SystemConfig
 from repro.datasets import brute_force_knn, sample_queries, sift_like

@@ -195,6 +195,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{rep.n_queries} queries, {rep.tasks} tasks, virtual time "
         f"{rep.total_seconds*1e3:.2f} ms ({rep.throughput:,.0f} q/s)"
     )
+    if any(v > 0 for v in rep.phase_breakdown.values()):
+        from repro.eval import format_phase_breakdown
+
+        print(format_phase_breakdown(rep.phase_breakdown, title="phase breakdown (summed over procs)"))
     if args.groundtruth:
         from repro.eval import recall_at_k
 

@@ -5,22 +5,22 @@ router, partitions, and node stores; ``query(Q)`` simulates one batch
 search (master-worker or multiple-owner) and returns the k-NN results with
 a full measurement report.  All times are virtual cluster seconds from the
 simulation; all results are real (computed by the actual index structures).
+
+All query modes route through one :class:`~repro.runtime.ClusterRuntime`;
+the mode-specific parts live in the
+:class:`~repro.runtime.strategies.DispatchStrategy` the config selects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.build import BuildOutput, run_build
 from repro.core.config import SystemConfig
-from repro.core.owner import owner_node_program
-from repro.core.results import GlobalResults
 from repro.core.searcher import LocalSearcher, ModeledSearcher, RealHnswSearcher
-from repro.core.worker import worker_thread_program
-from repro.simmpi.engine import Event, Simulation
-from repro.simmpi.trace import aggregate_stats
+from repro.runtime.report import SearchReport
 from repro.utils.validation import check_matrix
 
 __all__ = ["DistributedANN", "BuildReport", "SearchReport"]
@@ -42,44 +42,6 @@ class BuildReport:
     partition_sizes: list[int]
     #: peak per-node resident bytes (replicas included)
     max_node_bytes: int
-
-
-@dataclass
-class SearchReport:
-    """Batch-search measurements (Figs. 3-5, Table III quantities)."""
-
-    #: total query time, virtual seconds (the paper's headline metric)
-    total_seconds: float
-    #: number of queries in the batch
-    n_queries: int
-    #: tasks dispatched (sum over queries of partition fan-out)
-    tasks: int
-    #: per-core dispatch counts (Fig. 4b's distribution)
-    dispatch_counts: np.ndarray = field(default=None)
-    #: mean partitions visited per query
-    mean_fanout: float = 0.0
-    #: aggregate worker time breakdown {compute, send, recv, wait, poll, rma}
-    worker_breakdown: dict = field(default_factory=dict)
-    #: aggregate master/owner time breakdown
-    master_breakdown: dict = field(default_factory=dict)
-    #: queries per virtual second
-    throughput: float = 0.0
-    #: engine events processed (simulation diagnostics)
-    n_events: int = 0
-    #: per-query completion latencies in virtual seconds (two-sided mode
-    #: only; None when results return one-sided)
-    query_latencies: np.ndarray | None = None
-
-    @property
-    def comm_fraction(self) -> float:
-        """Fraction of summed busy time attributable to communication —
-        the quantity Fig. 5 plots."""
-        w = self.worker_breakdown
-        m = self.master_breakdown
-        comm = sum(w.get(x, 0.0) + m.get(x, 0.0) for x in ("send", "recv", "wait", "poll", "rma"))
-        comp = w.get("compute", 0.0) + m.get("compute", 0.0)
-        total = comm + comp
-        return comm / total if total > 0 else 0.0
 
 
 class DistributedANN:
@@ -158,30 +120,32 @@ class DistributedANN:
         """Batch k-NN search.  Returns (distances, ids, report); rows of the
         (n_queries, k) outputs are closest-first, padded with inf/-1."""
         self._require_fitted()
-        cfg = self.config
         Q = check_matrix(Q, "Q")
         if Q.shape[1] != self._dim:
             raise ValueError(f"queries are {Q.shape[1]}-d, index is {self._dim}-d")
-        k = k or cfg.k
-        if cfg.owner_strategy == "multiple":
-            return self._query_multiple_owner(Q, k)
-        return self._query_master_worker(Q, k)
-
-    def _query_master_worker(self, Q, k):
-        return self.query_with_searcher(Q, k, self._make_searcher())
+        k = k or self.config.k
+        return self._run_search(Q, k, self._make_searcher())
 
     def query_with_searcher(
         self, Q: np.ndarray, k: int, searcher: LocalSearcher
     ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
         """Batch search with a custom local searcher (the paper's §VI
         extensibility seam — see :mod:`repro.core.localindex`)."""
-        from repro.core.runner import run_master_worker_search
-
         self._require_fitted()
         Q = check_matrix(Q, "Q")
+        return self._run_search(Q, k, searcher)
+
+    def _run_search(
+        self, Q: np.ndarray, k: int, searcher: LocalSearcher
+    ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
+        # deferred import: repro.runtime's orchestration layer imports the
+        # core role programs, so importing it at module scope would cycle
+        from repro.runtime import ClusterRuntime, strategy_for
+
         build = self._build
-        return run_master_worker_search(
-            self.config,
+        runtime = ClusterRuntime(self.config)
+        return runtime.run_search(
+            strategy_for(self.config),
             build.router,
             build.workgroups,
             build.node_stores,
@@ -217,90 +181,16 @@ class DistributedANN:
             if len(ids) != len(X_new):
                 raise ValueError(f"{len(ids)} ids for {len(X_new)} points")
         router = self._build.router
-        for row, gid in zip(X_new, ids):
-            pid_part = router.route_approx(row, 1)[0]
+        # bucket rows by target partition so each partition's point store is
+        # grown with one concatenate instead of one per point
+        rows_by_partition: dict[int, list[int]] = {}
+        for i in range(len(X_new)):
+            pid_part = router.route_approx(X_new[i], 1)[0]
+            rows_by_partition.setdefault(pid_part, []).append(i)
+        for pid_part, row_idx in rows_by_partition.items():
             part = self.partitions[pid_part]
-            part.points = np.concatenate([part.points, row[np.newaxis, :]])
-            part.ids = np.concatenate([part.ids, [gid]])
-            part.index.add(row, ext_id=int(gid))
+            part.points = np.concatenate([part.points, X_new[row_idx]])
+            part.ids = np.concatenate([part.ids, ids[row_idx]])
+            for i in row_idx:
+                part.index.add(X_new[i], ext_id=int(ids[i]))
         return ids
-
-    def _query_multiple_owner(self, Q, k):
-        cfg = self.config
-        sim = Simulation(network=cfg.network, cost=cfg.cost)
-        results = GlobalResults(len(Q), k)
-        searcher = self._make_searcher()
-        build = self._build
-        build.workgroups.reset()
-
-        node_mailboxes = [sim.new_mailbox(f"node{n}") for n in range(cfg.n_nodes)]
-        # owner of query q is node hash(q) = qid % n_nodes (the paper's hash
-        # function is unspecified; modulo over the batch is the natural one)
-        owner_of = np.arange(len(Q)) % cfg.n_nodes
-        owner_pids = []
-        from repro.simmpi.comm import Comm
-
-        owner_comm_holder: list = [None]
-
-        for node in range(cfg.n_nodes):
-            my_queries = np.flatnonzero(owner_of == node)
-
-            def owner(ctx, node=node, my_queries=my_queries):
-                return (
-                    yield from owner_node_program(
-                        ctx,
-                        cfg,
-                        build.router,
-                        build.workgroups,
-                        Q,
-                        my_queries,
-                        results,
-                        node_mailboxes,
-                        owner_comm_holder[0],
-                        searcher,
-                        k,
-                        node_id=node,
-                    )
-                )
-
-            owner_pids.append(sim.add_proc(owner, node=node, name=f"owner_n{node}"))
-        owner_comm_holder[0] = Comm(sim, owner_pids, "owners")
-
-        for node in range(cfg.n_nodes):
-            done = Event()
-            store = build.node_stores[node]
-            for t in range(cfg.threads_per_node):
-                sim.add_proc(
-                    worker_thread_program,
-                    node_mailboxes[node],
-                    store,
-                    searcher,
-                    k,
-                    done,
-                    sim.mailbox_of(owner_pids[node]),  # unused sink for tdone
-                    None,
-                    node=node,
-                    name=f"worker_n{node}_t{t}",
-                )
-
-        out = sim.run()
-        D, I = results.result_arrays()
-        tasks = sum(out.results[p].tasks_sent for p in owner_pids)
-        fanouts = [f for p in owner_pids for f in out.results[p].fanouts]
-        counts = np.sum([out.results[p].dispatch_counts for p in owner_pids], axis=0)
-        report = SearchReport(
-            total_seconds=out.makespan,
-            n_queries=len(Q),
-            tasks=int(tasks),
-            dispatch_counts=counts,
-            mean_fanout=float(np.mean(fanouts)) if fanouts else 0.0,
-            worker_breakdown=aggregate_stats(
-                [s for s in out.stats.values() if s.name.startswith("worker")]
-            ),
-            master_breakdown=aggregate_stats(
-                [s for s in out.stats.values() if s.name.startswith("owner")]
-            ),
-            throughput=len(Q) / out.makespan if out.makespan > 0 else float("inf"),
-            n_events=out.n_events,
-        )
-        return D, I, report

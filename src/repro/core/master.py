@@ -77,19 +77,20 @@ def master_program(
             latencies[query_id] = ctx.now - batch_start
 
     def dispatch(query_id: int, partition_id: int, qvec: np.ndarray):
-        core = workgroups.next_core(partition_id)
-        report.dispatch_counts[core] += 1
-        report.tasks_sent += 1
-        outstanding[query_id] += 1
-        node = config.node_of_core(core)
-        yield from ctx.send_to_mailbox(
-            node_mailboxes[node],
-            make_task(query_id, partition_id, qvec),
-            source=ctx.pid,
-            tag=TAG_TASK,
-            nbytes=task_nbytes(qvec),
-            same_node=False,
-        )
+        with ctx.span("dispatch"):
+            core = workgroups.next_core(partition_id)
+            report.dispatch_counts[core] += 1
+            report.tasks_sent += 1
+            outstanding[query_id] += 1
+            node = config.node_of_core(core)
+            yield from ctx.send_to_mailbox(
+                node_mailboxes[node],
+                make_task(query_id, partition_id, qvec),
+                source=ctx.pid,
+                tag=TAG_TASK,
+                nbytes=task_nbytes(qvec),
+                same_node=False,
+            )
 
     def route_cost(parts_found_before: int):
         evals = router.n_dist_evals - parts_found_before
@@ -99,9 +100,10 @@ def master_program(
     if config.routing == "approx":
         for qid in range(len(queries)):
             q = queries[qid]
-            before = router.n_dist_evals
-            parts = router.route_approx(q, config.n_probe)
-            yield from ctx.compute(route_cost(before), kind="route")
+            with ctx.span("route"):
+                before = router.n_dist_evals
+                parts = router.route_approx(q, config.n_probe)
+                yield from ctx.compute(route_cost(before), kind="route")
             report.fanouts.append(len(parts))
             for pid_part in parts:
                 yield from dispatch(qid, pid_part, q)
@@ -110,9 +112,10 @@ def master_program(
         pending_pilot: dict[int, int] = {}
         for qid in range(len(queries)):
             q = queries[qid]
-            before = router.n_dist_evals
-            pilot = router.route_approx(q, 1)[0]
-            yield from ctx.compute(route_cost(before), kind="route")
+            with ctx.span("route"):
+                before = router.n_dist_evals
+                pilot = router.route_approx(q, 1)[0]
+                yield from ctx.compute(route_cost(before), kind="route")
             pending_pilot[qid] = pilot
             yield from dispatch(qid, pilot, q)
         # every result triggers a merge; a *pilot* result additionally
@@ -120,20 +123,22 @@ def master_program(
         expected = len(queries)
         received = 0
         while received < expected:
-            req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
-            payload = yield from ctx.wait(req)
-            _, qid, d, ids = payload
-            yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
-            results.update(qid, d, ids)
+            with ctx.span("reduce"):
+                req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
+                payload = yield from ctx.wait(req)
+                _, qid, d, ids = payload
+                yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
+                results.update(qid, d, ids)
             note_result(qid)
             received += 1
             if qid in pending_pilot:
                 pilot = pending_pilot.pop(qid)
                 tau = float(d[k - 1]) if len(d) >= k else float("inf")
                 if np.isfinite(tau):
-                    before = router.n_dist_evals
-                    parts = [p for p in router.route_exact(queries[qid], tau) if p != pilot]
-                    yield from ctx.compute(route_cost(before), kind="route")
+                    with ctx.span("route"):
+                        before = router.n_dist_evals
+                        parts = [p for p in router.route_exact(queries[qid], tau) if p != pilot]
+                        yield from ctx.compute(route_cost(before), kind="route")
                 else:
                     parts = [p for p in range(config.n_cores) if p != pilot]
                 report.fanouts.append(len(parts) + 1)
@@ -143,33 +148,36 @@ def master_program(
         expected_results = 0  # everything already collected
 
     # End of Queries to every worker node (Alg. 3 lines 12-14)
-    for node in range(config.n_nodes):
-        yield from ctx.send_to_mailbox(
-            node_mailboxes[node],
-            ("end",),
-            source=ctx.pid,
-            tag=TAG_END,
-            nbytes=8,
-            same_node=False,
-        )
+    with ctx.span("drain"):
+        for node in range(config.n_nodes):
+            yield from ctx.send_to_mailbox(
+                node_mailboxes[node],
+                ("end",),
+                source=ctx.pid,
+                tag=TAG_END,
+                nbytes=8,
+                same_node=False,
+            )
 
     # collection loop (Alg. 3 lines 15-18)
     remaining = expected_results
     while remaining:
-        req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
-        payload = yield from ctx.wait(req)
-        _, qid, d, ids = payload
-        yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
-        results.update(qid, d, ids)
+        with ctx.span("reduce"):
+            req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
+            payload = yield from ctx.wait(req)
+            _, qid, d, ids = payload
+            yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
+            results.update(qid, d, ids)
         note_result(qid)
         remaining -= 1
 
     # thread completion notifications: in one-sided mode this is what tells
     # the master every Get_accumulate has landed; in two-sided mode it
     # simply drains the exit messages
-    for _ in range(n_threads_total):
-        req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_THREAD_DONE)
-        yield from ctx.wait(req)
+    with ctx.span("drain"):
+        for _ in range(n_threads_total):
+            req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_THREAD_DONE)
+            yield from ctx.wait(req)
 
     if not one_sided:
         report.query_latencies = latencies

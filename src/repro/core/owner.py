@@ -41,7 +41,6 @@ def owner_node_program(
     results: GlobalResults,
     node_mailboxes: list[Mailbox],
     owner_comm: Comm,
-    searcher,
     k: int,
     node_id: int,
 ):
@@ -51,46 +50,50 @@ def owner_node_program(
 
     for qid in my_query_ids:
         q = Q[qid]
-        before = router.n_dist_evals
-        parts = router.route_approx(q, config.n_probe)
-        evals = router.n_dist_evals - before
-        report.route_dist_evals += evals
-        yield from ctx.compute(ctx.cost.distance_cost(evals, Q.shape[1]), kind="route")
+        with ctx.span("route"):
+            before = router.n_dist_evals
+            parts = router.route_approx(q, config.n_probe)
+            evals = router.n_dist_evals - before
+            report.route_dist_evals += evals
+            yield from ctx.compute(ctx.cost.distance_cost(evals, Q.shape[1]), kind="route")
         report.fanouts.append(len(parts))
-        for pid_part in parts:
-            core = workgroups.next_core(pid_part)
-            report.dispatch_counts[core] += 1
-            report.tasks_sent += 1
-            node = config.node_of_core(core)
-            yield from ctx.send_to_mailbox(
-                node_mailboxes[node],
-                ("task", int(qid), int(pid_part), q, ctx.mailbox),
-                source=ctx.pid,
-                tag=TAG_TASK,
-                nbytes=task_nbytes(q),
-                same_node=node == node_id,
-            )
-            expected += 1
+        with ctx.span("dispatch"):
+            for pid_part in parts:
+                core = workgroups.next_core(pid_part)
+                report.dispatch_counts[core] += 1
+                report.tasks_sent += 1
+                node = config.node_of_core(core)
+                yield from ctx.send_to_mailbox(
+                    node_mailboxes[node],
+                    ("task", int(qid), int(pid_part), q, ctx.mailbox),
+                    source=ctx.pid,
+                    tag=TAG_TASK,
+                    nbytes=task_nbytes(q),
+                    same_node=node == node_id,
+                )
+                expected += 1
 
     # collect results for this owner's queries
     for _ in range(expected):
-        req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
-        payload = yield from ctx.wait(req)
-        _, qid, d, ids = payload
-        yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
-        results.update(qid, d, ids)
+        with ctx.span("reduce"):
+            req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
+            payload = yield from ctx.wait(req)
+            _, qid, d, ids = payload
+            yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
+            results.update(qid, d, ids)
 
     # all owners done => all tasks answered => safe to shut workers down
-    yield from owner_comm.barrier(ctx)
-    if owner_comm.rank(ctx) == 0:
-        for node in range(config.n_nodes):
-            for _ in range(config.threads_per_node):
-                yield from ctx.send_to_mailbox(
-                    node_mailboxes[node],
-                    ("end",),
-                    source=ctx.pid,
-                    tag=TAG_END,
-                    nbytes=8,
-                    same_node=False,
-                )
+    with ctx.span("drain"):
+        yield from owner_comm.barrier(ctx)
+        if owner_comm.rank(ctx) == 0:
+            for node in range(config.n_nodes):
+                for _ in range(config.threads_per_node):
+                    yield from ctx.send_to_mailbox(
+                        node_mailboxes[node],
+                        ("end",),
+                        source=ctx.pid,
+                        tag=TAG_END,
+                        nbytes=8,
+                        same_node=False,
+                    )
     return report

@@ -63,34 +63,39 @@ def worker_thread_program(
             # multiple-owner dispatcher
             _, query_id, partition_id, qvec = payload[:4]
             reply_to = payload[4] if len(payload) > 4 else master_mailbox
-            partition = node_store.get(partition_id)
-            dists, ids, seconds = searcher.search(partition, qvec, k)
-            yield from ctx.compute(seconds, kind="search")
+            with ctx.span("search"):
+                partition = node_store.get(partition_id)
+                dists, ids, seconds = searcher.search(partition, qvec, k)
+                yield from ctx.compute(seconds, kind="search")
             processed += 1
-            if one_sided:
-                yield from window.get_accumulate(
-                    ctx, query_id, (dists, ids), nbytes=result_nbytes(dists, ids)
-                )
-            else:
-                yield from ctx.send_to_mailbox(
-                    reply_to,
-                    make_result(query_id, dists, ids),
-                    source=ctx.pid,
-                    tag=reply_tag,
-                    nbytes=result_nbytes(dists, ids),
-                    same_node=False,
-                )
+            # returning a result is the worker-side half of the reduction:
+            # either the remote accumulate or the point-to-point reply
+            with ctx.span("reduce"):
+                if one_sided:
+                    yield from window.get_accumulate(
+                        ctx, query_id, (dists, ids), nbytes=result_nbytes(dists, ids)
+                    )
+                else:
+                    yield from ctx.send_to_mailbox(
+                        reply_to,
+                        make_result(query_id, dists, ids),
+                        source=ctx.pid,
+                        tag=reply_tag,
+                        nbytes=result_nbytes(dists, ids),
+                        same_node=False,
+                    )
     finally:
         if one_sided:
             yield from window.unlock(ctx)
     # completion notification (tiny message) so the master can detect that
     # every one-sided accumulate has landed before reading the window
-    yield from ctx.send_to_mailbox(
-        master_mailbox,
-        ("tdone", ctx.pid, processed),
-        source=ctx.pid,
-        tag=TAG_THREAD_DONE,
-        nbytes=24,
-        same_node=False,
-    )
+    with ctx.span("drain"):
+        yield from ctx.send_to_mailbox(
+            master_mailbox,
+            ("tdone", ctx.pid, processed),
+            source=ctx.pid,
+            tag=TAG_THREAD_DONE,
+            nbytes=24,
+            same_node=False,
+        )
     return processed

@@ -8,7 +8,7 @@ from repro.eval.recall import recall_at_k, per_query_recall
 from repro.eval.load import load_distribution, LoadStats
 from repro.eval.scaling import speedup_table, ScalingRow
 from repro.eval.latency import latency_stats, LatencyStats
-from repro.eval.reporting import format_table, format_histogram
+from repro.eval.reporting import format_table, format_histogram, format_phase_breakdown
 
 __all__ = [
     "recall_at_k",
@@ -21,4 +21,5 @@ __all__ = [
     "LatencyStats",
     "format_table",
     "format_histogram",
+    "format_phase_breakdown",
 ]

@@ -10,7 +10,9 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_histogram"]
+from repro.simmpi.trace import PHASES
+
+__all__ = ["format_table", "format_histogram", "format_phase_breakdown"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
@@ -27,6 +29,29 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = 
     lines.append(sep)
     for row in cells[1:]:
         lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_phase_breakdown(
+    phase_seconds: dict[str, float], title: str = "", width: int = 30
+) -> str:
+    """Render a span/phase breakdown (see :data:`repro.simmpi.trace.PHASES`).
+
+    One bar per phase, standard phases first in pipeline order, any custom
+    span names after; percentages are of the summed span time across procs
+    (phases overlap in wall-clock because procs run concurrently, so they
+    need not sum to the makespan).
+    """
+    names = [p for p in PHASES if p in phase_seconds]
+    names += sorted(set(phase_seconds) - set(PHASES))
+    total = sum(phase_seconds.get(n, 0.0) for n in names)
+    peak = max((phase_seconds.get(n, 0.0) for n in names), default=0.0)
+    lines = [title] if title else []
+    for n in names:
+        sec = phase_seconds.get(n, 0.0)
+        pct = 100.0 * sec / total if total > 0 else 0.0
+        bar = "#" * (round(sec / peak * width) if peak > 0 else 0)
+        lines.append(f"{n:>10s} {sec:12.6g}s {pct:5.1f}% {bar}")
     return "\n".join(lines)
 
 

@@ -26,10 +26,10 @@ import numpy as np
 from repro.core.config import SystemConfig
 from repro.core.partition import NodeStore, Partition
 from repro.core.replication import Workgroups
-from repro.core.runner import run_master_worker_search
 from repro.kdtree.distributed import distributed_build_kd
 from repro.kdtree.router import KDPartitionRouter
 from repro.kdtree.tree import KDTree
+from repro.runtime import ClusterRuntime, MasterWorkerStrategy
 from repro.simmpi.comm import Comm
 from repro.simmpi.costmodel import CostModel
 from repro.simmpi.engine import Simulation
@@ -141,8 +141,9 @@ class KDBaselineSystem:
             raise ValueError(f"queries are {Q.shape[1]}-d, index is {self._dim}-d")
         k = k or self.config.k
         searcher = KDExactSearcher(self.config.cost, self.work_scale)
-        return run_master_worker_search(
-            self.config,
+        runtime = ClusterRuntime(self.config)
+        return runtime.run_search(
+            MasterWorkerStrategy(),
             self._router,
             self._workgroups,
             self._node_stores,

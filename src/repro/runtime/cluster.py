@@ -1,0 +1,132 @@
+"""The ClusterRuntime: one simulated batch search, any dispatch strategy.
+
+This is the single orchestration entrypoint every query mode routes
+through — the VP+HNSW system's master-worker and multiple-owner modes and
+the KD-tree baseline alike.  The runtime owns everything the three
+hand-rolled copies used to duplicate:
+
+- building the :class:`~repro.simmpi.engine.Simulation` from the config's
+  network and cost models,
+- one shared mailbox per compute node (the intra-node work queue),
+- workgroup round-robin reset (so repeated batches are independent),
+- spawning ``threads_per_node`` worker procs per node with the strategy's
+  wiring (control mailbox + optional RMA window),
+- running the simulation and reducing it to ``(D, I, SearchReport)`` via
+  the shared :class:`~repro.runtime.report.ReportBuilder`.
+
+A runtime instance is single-shot, like the Simulation it owns: construct,
+``run_search`` once, read the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.partition import NodeStore
+from repro.core.replication import Workgroups
+from repro.core.results import GlobalResults
+from repro.core.searcher import LocalSearcher
+from repro.core.worker import worker_thread_program
+from repro.runtime.report import ReportBuilder, SearchReport
+from repro.runtime.strategies import DispatchStrategy
+from repro.simmpi.engine import Event, Simulation
+
+__all__ = ["ClusterRuntime", "SearchJob", "run_search"]
+
+
+@dataclass
+class SearchJob:
+    """Everything one batch search needs besides the cluster itself.
+
+    ``router`` must expose ``route_approx(q, n_probe)``, ``route_exact(q,
+    tau)`` and an ``n_dist_evals`` counter — both the VP and the KD
+    partition routers qualify.
+    """
+
+    router: Any
+    workgroups: Workgroups
+    node_stores: dict[int, NodeStore]
+    searcher: LocalSearcher
+    Q: np.ndarray
+    k: int
+    #: filled in by the runtime before the strategy installs
+    results: GlobalResults | None = None
+
+
+class ClusterRuntime:
+    """Owns simulation setup and the run/reduce cycle of one batch search."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.sim = Simulation(network=config.network, cost=config.cost)
+        self.node_mailboxes = [
+            self.sim.new_mailbox(f"node{n}") for n in range(config.n_nodes)
+        ]
+
+    def run_search(
+        self,
+        strategy: DispatchStrategy,
+        router: Any,
+        workgroups: Workgroups,
+        node_stores: dict[int, NodeStore],
+        searcher: LocalSearcher,
+        Q: np.ndarray,
+        k: int,
+    ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
+        """Simulate one batch search under ``strategy``; returns (D, I, report)."""
+        cfg = self.config
+        workgroups.reset()
+        job = SearchJob(
+            router=router,
+            workgroups=workgroups,
+            node_stores=node_stores,
+            searcher=searcher,
+            Q=Q,
+            k=k,
+            results=GlobalResults(len(Q), k),
+        )
+        # coordinators first, workers second: registration order is the
+        # engine's deterministic tie-break, so it is part of the contract
+        strategy.install(self, job)
+        for node in range(cfg.n_nodes):
+            done = Event()
+            control_mailbox, window = strategy.worker_wiring(self, node)
+            store = node_stores[node]
+            for t in range(cfg.threads_per_node):
+                self.sim.add_proc(
+                    worker_thread_program,
+                    self.node_mailboxes[node],
+                    store,
+                    searcher,
+                    k,
+                    done,
+                    control_mailbox,
+                    window,
+                    node=node,
+                    name=f"worker_n{node}_t{t}",
+                )
+
+        out = self.sim.run()
+        D, I = job.results.result_arrays()
+        report = ReportBuilder(out, strategy.coordinator_pids, len(Q)).build()
+        return D, I, report
+
+
+def run_search(
+    config: SystemConfig,
+    strategy: DispatchStrategy,
+    router: Any,
+    workgroups: Workgroups,
+    node_stores: dict[int, NodeStore],
+    searcher: LocalSearcher,
+    Q: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray, SearchReport]:
+    """One-shot convenience: build a :class:`ClusterRuntime` and run."""
+    return ClusterRuntime(config).run_search(
+        strategy, router, workgroups, node_stores, searcher, Q, k
+    )

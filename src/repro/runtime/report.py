@@ -1,0 +1,116 @@
+"""Uniform search reporting for every dispatch strategy.
+
+:class:`SearchReport` is the public measurement record a batch search
+returns (Figs. 3-5, Table III quantities).  :class:`ReportBuilder` is the
+single place that assembles it from a finished
+:class:`~repro.simmpi.engine.SimulationResult` — identically for
+master-worker two-sided, master-worker one-sided, and multiple-owner runs —
+so report semantics can never drift between strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simmpi.engine import SimulationResult
+from repro.simmpi.trace import aggregate_spans, aggregate_stats
+
+__all__ = ["SearchReport", "ReportBuilder"]
+
+
+@dataclass
+class SearchReport:
+    """Batch-search measurements (Figs. 3-5, Table III quantities)."""
+
+    #: total query time, virtual seconds (the paper's headline metric)
+    total_seconds: float
+    #: number of queries in the batch
+    n_queries: int
+    #: tasks dispatched (sum over queries of partition fan-out)
+    tasks: int
+    #: per-core dispatch counts (Fig. 4b's distribution)
+    dispatch_counts: np.ndarray | None = None
+    #: mean partitions visited per query
+    mean_fanout: float = 0.0
+    #: aggregate worker time breakdown {compute, send, recv, wait, poll, rma}
+    worker_breakdown: dict = field(default_factory=dict)
+    #: aggregate master/owner time breakdown
+    master_breakdown: dict = field(default_factory=dict)
+    #: engine events processed (simulation diagnostics)
+    n_events: int = 0
+    #: per-query completion latencies in virtual seconds (two-sided
+    #: master-worker mode only; None when results return one-sided or when
+    #: multiple owners each observe only their own slice)
+    query_latencies: np.ndarray | None = None
+    #: elapsed virtual seconds per pipeline phase, summed over all procs —
+    #: keys always include :data:`~repro.simmpi.trace.PHASES`
+    phase_breakdown: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Queries per virtual second (0.0 for a degenerate zero-time run)."""
+        if self.total_seconds > 0:
+            return self.n_queries / self.total_seconds
+        return 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of summed busy time attributable to communication —
+        the quantity Fig. 5 plots."""
+        w = self.worker_breakdown
+        m = self.master_breakdown
+        comm = sum(w.get(x, 0.0) + m.get(x, 0.0) for x in ("send", "recv", "wait", "poll", "rma"))
+        comp = w.get("compute", 0.0) + m.get("compute", 0.0)
+        total = comm + comp
+        return comm / total if total > 0 else 0.0
+
+
+class ReportBuilder:
+    """Reduce one finished simulation to a :class:`SearchReport`.
+
+    The coordinator procs (one master, or one owner per node) each return a
+    :class:`~repro.core.master.MasterReport`; everything else in the
+    simulation is a worker thread.  The builder sums coordinator reports,
+    partitions the proc stats by pid, and aggregates span times — the same
+    arithmetic for every strategy.
+    """
+
+    def __init__(
+        self,
+        out: SimulationResult,
+        coordinator_pids: list[int],
+        n_queries: int,
+    ) -> None:
+        self.out = out
+        self.coordinator_pids = list(coordinator_pids)
+        self.n_queries = n_queries
+
+    def build(self) -> SearchReport:
+        out = self.out
+        coord = set(self.coordinator_pids)
+        creports = [out.results[p] for p in self.coordinator_pids]
+        coord_stats = [out.stats[p] for p in self.coordinator_pids]
+        worker_stats = [s for p, s in out.stats.items() if p not in coord]
+
+        tasks = sum(r.tasks_sent for r in creports)
+        counts = np.sum([r.dispatch_counts for r in creports], axis=0)
+        fanouts = [f for r in creports for f in r.fanouts]
+        # per-query latency is only observable when a single coordinator saw
+        # every result land (the two-sided master); owners each see only
+        # their own slice and one-sided results bypass the master entirely
+        latencies = creports[0].query_latencies if len(creports) == 1 else None
+
+        return SearchReport(
+            total_seconds=out.makespan,
+            n_queries=self.n_queries,
+            tasks=int(tasks),
+            dispatch_counts=counts,
+            mean_fanout=float(np.mean(fanouts)) if fanouts else 0.0,
+            worker_breakdown=aggregate_stats(worker_stats),
+            master_breakdown=aggregate_stats(coord_stats),
+            n_events=out.n_events,
+            query_latencies=latencies,
+            phase_breakdown=aggregate_spans(list(out.stats.values())),
+        )

@@ -40,8 +40,13 @@ from repro.simmpi.engine import (
 )
 from repro.simmpi.comm import Comm
 from repro.simmpi.rma import Window
+from repro.simmpi.trace import PHASES, ProcStats, aggregate_stats, aggregate_spans
 
 __all__ = [
+    "PHASES",
+    "ProcStats",
+    "aggregate_stats",
+    "aggregate_spans",
     "SimError",
     "DeadlockError",
     "SimConfigError",

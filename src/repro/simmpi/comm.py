@@ -186,7 +186,7 @@ class Comm:
             values = arrived[root_pid][1]
             if values is None or len(values) != len(pids):
                 raise SimError(
-                    f"scatter root must supply one value per rank "
+                    "scatter root must supply one value per rank "
                     f"({0 if values is None else len(values)} for {len(pids)})"
                 )
             nbytes = max(payload_nbytes(v) for v in values)

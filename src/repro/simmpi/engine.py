@@ -296,6 +296,30 @@ class _Proc:
         self._wait_entries: list = []
 
 
+class _SpanScope:
+    """Context manager recording one named tracing span on a proc.
+
+    Measures the elapsed *virtual* interval between entry and exit — which
+    includes any communication blocking inside the block — and charges no
+    virtual time itself, so tracing never perturbs the simulation.  Usable
+    inside proc generators (``with`` works across ``yield from``).
+    """
+
+    __slots__ = ("_proc", "name", "start")
+
+    def __init__(self, proc: _Proc, name: str):
+        self._proc = proc
+        self.name = name
+        self.start = proc.clock
+
+    def __enter__(self) -> "_SpanScope":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._proc.stats.add_span(self.name, self._proc.clock - self.start)
+        return False
+
+
 class Context:
     """Per-proc API surface handed to proc generator functions."""
 
@@ -346,6 +370,17 @@ class Context:
     def charge_distances(self, n_evals: int, dim: int, kind: str = "compute"):
         """Charge the cost-model time of ``n_evals`` distance evaluations."""
         yield _Compute(self._sim.cost.distance_cost(int(n_evals), int(dim)), kind)
+
+    # -- tracing -------------------------------------------------------------
+
+    def span(self, name: str) -> _SpanScope:
+        """Open a named tracing span: ``with ctx.span("route"): ...``.
+
+        The elapsed virtual interval lands in this proc's
+        :attr:`~repro.simmpi.trace.ProcStats.span_time`; see
+        :data:`~repro.simmpi.trace.PHASES` for the standard names.
+        """
+        return _SpanScope(self._proc, name)
 
     # -- events --------------------------------------------------------------
 

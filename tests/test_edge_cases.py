@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import DistributedANN, SystemConfig
-from repro.datasets import brute_force_knn, sample_queries, sift_like
+from repro.datasets import brute_force_knn, sift_like
 from repro.eval import recall_at_k
 from repro.hnsw import HnswIndex, HnswParams, graph_stats
 from repro.simmpi import Simulation

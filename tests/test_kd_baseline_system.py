@@ -6,7 +6,6 @@ import pytest
 from repro.core import SystemConfig
 from repro.datasets import brute_force_knn, sample_queries, sift_like
 from repro.eval import recall_at_k
-from repro.hnsw import HnswParams
 from repro.kdtree import KDBaselineSystem
 
 

@@ -1,7 +1,6 @@
 """Edge cases of the multiple-owner strategy."""
 
 import numpy as np
-import pytest
 
 from repro.core import DistributedANN, SystemConfig
 from repro.datasets import sample_queries, sift_like

@@ -5,7 +5,6 @@ never go backwards, messages are neither lost nor duplicated, and the
 makespan is insensitive to the order in which procs were registered.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,185 @@
+"""Report invariants across all three query modes, and the golden
+equivalence test protecting the ClusterRuntime refactor.
+
+Every dispatch strategy must emit the same report shape: breakdown dicts
+with exactly the {compute, send, recv, wait, poll, rma} keys, a
+comm_fraction in [0, 1], per-query latencies only where they are
+observable (two-sided master-worker), and a phase breakdown over the
+uniform span vocabulary.  And for a fixed seed, (D, I) must be identical
+across modes and runs, with virtual makespans reproduced exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DistributedANN, SystemConfig
+from repro.runtime import (
+    ClusterRuntime,
+    MasterWorkerStrategy,
+    MultipleOwnerStrategy,
+    SearchReport,
+    strategy_for,
+)
+from repro.simmpi.trace import PHASES
+
+BREAKDOWN_KEYS = {"compute", "send", "recv", "wait", "poll", "rma"}
+
+MODES = {
+    "two_sided": dict(one_sided=False, owner_strategy="master"),
+    "one_sided": dict(one_sided=True, owner_strategy="master"),
+    "multiple_owner": dict(one_sided=False, owner_strategy="multiple"),
+}
+
+
+def _dataset(seed: int = 7, n: int = 400, dim: int = 12):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, dim)).astype("float32")
+    Q = rng.normal(size=(12, dim)).astype("float32")
+    return X, Q
+
+
+def _run_mode(mode_kwargs, X, Q, k=5, seed=3):
+    cfg = SystemConfig(n_cores=4, cores_per_node=2, seed=seed, **mode_kwargs)
+    ann = DistributedANN(cfg)
+    ann.fit(X)
+    return ann.query(Q, k=k)
+
+
+@pytest.fixture(scope="module")
+def mode_runs():
+    X, Q = _dataset()
+    return {name: _run_mode(kwargs, X, Q) for name, kwargs in MODES.items()}
+
+
+class TestReportInvariants:
+    def test_comm_fraction_in_unit_interval(self, mode_runs):
+        for name, (_, _, rep) in mode_runs.items():
+            assert 0.0 <= rep.comm_fraction <= 1.0, name
+
+    def test_breakdowns_have_exactly_the_standard_keys(self, mode_runs):
+        for name, (_, _, rep) in mode_runs.items():
+            assert set(rep.worker_breakdown) == BREAKDOWN_KEYS, name
+            assert set(rep.master_breakdown) == BREAKDOWN_KEYS, name
+
+    def test_query_latencies_present_iff_two_sided_master_worker(self, mode_runs):
+        for name, (_, _, rep) in mode_runs.items():
+            if name == "two_sided":
+                assert rep.query_latencies is not None
+                assert len(rep.query_latencies) == rep.n_queries
+                assert np.all(np.isfinite(rep.query_latencies))
+            else:
+                assert rep.query_latencies is None, name
+
+    def test_task_accounting_is_consistent(self, mode_runs):
+        for name, (_, _, rep) in mode_runs.items():
+            assert rep.dispatch_counts is not None, name
+            assert rep.tasks == int(rep.dispatch_counts.sum()), name
+            assert rep.mean_fanout > 0, name
+            assert rep.throughput > 0, name
+
+    def test_phase_breakdown_covers_standard_phases(self, mode_runs):
+        for name, (_, _, rep) in mode_runs.items():
+            assert set(PHASES) <= set(rep.phase_breakdown), name
+            assert all(v >= 0.0 for v in rep.phase_breakdown.values()), name
+            # every mode routes, searches, and reduces
+            assert rep.phase_breakdown["route"] > 0, name
+            assert rep.phase_breakdown["search"] > 0, name
+            assert rep.phase_breakdown["reduce"] > 0, name
+
+
+class TestGoldenEquivalence:
+    """The refactor-protection contract: fixed seed => fixed answers/times."""
+
+    def test_results_identical_across_modes(self, mode_runs):
+        (D0, I0, _) = mode_runs["two_sided"]
+        for name in ("one_sided", "multiple_owner"):
+            D, I, _ = mode_runs[name]
+            np.testing.assert_array_equal(I0, I, err_msg=name)
+            np.testing.assert_allclose(D0, D, err_msg=name)
+
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_repeat_run_reproduces_results_and_makespan(self, mode):
+        X, Q = _dataset()
+        D1, I1, rep1 = _run_mode(MODES[mode], X, Q)
+        D2, I2, rep2 = _run_mode(MODES[mode], X, Q)
+        np.testing.assert_array_equal(I1, I2)
+        np.testing.assert_array_equal(D1, D2)
+        assert rep1.total_seconds == rep2.total_seconds
+        assert rep1.n_events == rep2.n_events
+        assert rep1.worker_breakdown == rep2.worker_breakdown
+        assert rep1.master_breakdown == rep2.master_breakdown
+        assert rep1.phase_breakdown == rep2.phase_breakdown
+
+    def test_facade_and_runtime_entrypoints_agree(self):
+        """DistributedANN.query and a hand-built ClusterRuntime are the
+        same code path — same results, same virtual makespan."""
+        X, Q = _dataset()
+        cfg = SystemConfig(n_cores=4, cores_per_node=2, one_sided=False, seed=3)
+        ann = DistributedANN(cfg)
+        ann.fit(X)
+        D1, I1, rep1 = ann.query(Q, k=5)
+        build = ann._build
+        D2, I2, rep2 = ClusterRuntime(cfg).run_search(
+            MasterWorkerStrategy(),
+            build.router,
+            build.workgroups,
+            build.node_stores,
+            ann._make_searcher(),
+            Q,
+            5,
+        )
+        np.testing.assert_array_equal(I1, I2)
+        np.testing.assert_array_equal(D1, D2)
+        assert rep1.total_seconds == rep2.total_seconds
+
+
+class TestStrategySelection:
+    def test_strategy_for_config(self):
+        assert isinstance(strategy_for(SystemConfig()), MasterWorkerStrategy)
+        assert isinstance(
+            strategy_for(SystemConfig(owner_strategy="multiple")), MultipleOwnerStrategy
+        )
+
+
+class TestSearchReportDefaults:
+    def test_throughput_zero_for_zero_makespan(self):
+        rep = SearchReport(total_seconds=0.0, n_queries=5, tasks=0)
+        assert rep.throughput == 0.0
+
+    def test_dispatch_counts_defaults_to_none(self):
+        rep = SearchReport(total_seconds=1.0, n_queries=5, tasks=0)
+        assert rep.dispatch_counts is None
+
+    def test_search_report_importable_from_core(self):
+        from repro.core import SearchReport as CoreSearchReport
+
+        assert CoreSearchReport is SearchReport
+
+
+class TestAddPointsBatching:
+    def test_batched_insert_matches_single_inserts(self):
+        X, Q = _dataset(seed=11, n=300)
+        extra = _dataset(seed=12, n=40)[0][:24]
+        cfg = SystemConfig(n_cores=4, cores_per_node=2, seed=3)
+
+        batched = DistributedANN(cfg)
+        batched.fit(X)
+        ids_b = batched.add_points(extra)
+
+        loop = DistributedANN(cfg)
+        loop.fit(X)
+        ids_l = np.concatenate([loop.add_points(extra[i : i + 1]) for i in range(len(extra))])
+
+        np.testing.assert_array_equal(ids_b, ids_l)
+        for pid in batched.partitions:
+            np.testing.assert_array_equal(
+                batched.partitions[pid].ids, loop.partitions[pid].ids
+            )
+            np.testing.assert_array_equal(
+                batched.partitions[pid].points, loop.partitions[pid].points
+            )
+        D1, I1, _ = batched.query(Q, k=5)
+        D2, I2, _ = loop.query(Q, k=5)
+        np.testing.assert_array_equal(I1, I2)
