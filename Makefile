@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test lint bench bench-core examples clean
+.PHONY: install test lint bench bench-core examples faults-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +25,11 @@ bench-core:
 	       benchmarks/test_fig5_breakdown.py \
 	       benchmarks/test_fig6_recall_vs_time.py \
 	       --benchmark-only -s
+
+# end-to-end crash + failover scenario; exits non-zero on any violated
+# fault-tolerance guarantee, so CI runs it as a smoke job
+faults-demo:
+	python examples/faults_demo.py
 
 examples:
 	python examples/quickstart.py

@@ -138,6 +138,26 @@ def _load_router(path: str):
     return PartitionRouter(rec(), int(data["n_partitions"][0]))
 
 
+def _load_fault_spec(path: str | None):
+    if not path:
+        return None
+    from repro.faults import FaultSpec
+
+    return FaultSpec.from_json(path)
+
+
+def _print_fault_summary(rep) -> None:
+    from repro.eval import availability_stats
+
+    stats = availability_stats(rep.completeness, rep.n_queries)
+    print(f"faults: {stats}")
+    print(
+        f"faults: {rep.retries} retries, {rep.failovers} failovers, "
+        f"{rep.failed_tasks} abandoned tasks, {rep.duplicate_results} duplicates dropped, "
+        f"suspected dead cores {rep.suspected_dead_cores}"
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import DistributedANN, SystemConfig
     from repro.core.partition import Partition
@@ -146,13 +166,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     with open(os.path.join(args.index, "meta.json")) as fh:
         meta = json.load(fh)
+    fault_spec = _load_fault_spec(args.faults)
     cfg = SystemConfig(
         n_cores=meta["n_cores"],
         cores_per_node=meta["cores_per_node"],
         k=args.k or meta["k"],
         hnsw=HnswParams(M=meta["M"], ef_construction=meta["ef_construction"], seed=meta["seed"]),
         n_probe=args.n_probe or meta["n_probe"],
+        replication_factor=args.replication,
         seed=meta["seed"],
+        # fault tolerance tracks per-task deadlines at the master, which
+        # needs the two-sided result path
+        one_sided=fault_spec is None,
+        fault_spec=fault_spec,
     )
     ann = DistributedANN(cfg)
     # reconstitute the fitted state from disk
@@ -195,6 +221,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{rep.n_queries} queries, {rep.tasks} tasks, virtual time "
         f"{rep.total_seconds*1e3:.2f} ms ({rep.throughput:,.0f} q/s)"
     )
+    if fault_spec is not None:
+        _print_fault_summary(rep)
     if any(v > 0 for v in rep.phase_breakdown.values()):
         from repro.eval import format_phase_breakdown
 
@@ -216,6 +244,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     ds = load_dataset(args.dataset, n_points=args.n_points, n_queries=10, seed=args.seed)
     Q = sample_queries(ds.X, args.n_queries, noise_scale=0.05, seed=args.seed + 1)
+    fault_spec = _load_fault_spec(args.faults)
     meas = []
     for P in args.cores:
         cfg = SystemConfig(
@@ -227,13 +256,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             modeled_sample_points=16,
             modeled_search_seconds=args.task_seconds,
             n_probe=3,
+            replication_factor=min(args.replication, P),
             seed=args.seed,
+            one_sided=fault_spec is None,
+            fault_spec=fault_spec,
         )
         ann = DistributedANN(cfg)
         ann.fit(ds.X)
         _, _, rep = ann.query(Q)
         meas.append((P, rep.total_seconds))
         print(f"P={P:5d}  virtual {rep.total_seconds:.4f}s")
+        if fault_spec is not None:
+            _print_fault_summary(rep)
     for row in speedup_table(meas):
         print(f"  {row.cores:5d} cores: speedup {row.speedup:6.2f}  efficiency {row.efficiency:.2f}")
     return 0
@@ -271,6 +305,8 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--groundtruth", help="exact ids (.ivecs) to compute recall")
     q.add_argument("--k", type=int, default=None)
     q.add_argument("--n-probe", type=int, default=None, dest="n_probe")
+    q.add_argument("--faults", help="fault scenario JSON (switches to fault-tolerant dispatch)")
+    q.add_argument("--replication", type=int, default=1, help="workgroup replication factor r")
     q.set_defaults(func=_cmd_query)
 
     be = sub.add_parser("bench", help="strong-scaling sweep on the simulated cluster")
@@ -279,6 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--n-points", type=int, default=4096, dest="n_points")
     be.add_argument("--n-queries", type=int, default=1000, dest="n_queries")
     be.add_argument("--task-seconds", type=float, default=2e-3, dest="task_seconds")
+    be.add_argument("--faults", help="fault scenario JSON (switches to fault-tolerant dispatch)")
+    be.add_argument("--replication", type=int, default=1, help="workgroup replication factor r")
     be.add_argument("--seed", type=int, default=0)
     be.set_defaults(func=_cmd_bench)
     return ap

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.spec import FaultPolicy, FaultSpec
 from repro.hnsw.params import HnswParams
 from repro.simmpi.costmodel import CostModel
 from repro.simmpi.errors import SimConfigError
@@ -84,6 +85,11 @@ class SystemConfig:
     network: NetworkModel = field(default_factory=NetworkModel)
     cost: CostModel = field(default_factory=CostModel)
     seed: int = 0
+    #: fault scenario injected into the simulated fabric (None = fault-free)
+    fault_spec: FaultSpec | None = None
+    #: fault-tolerant dispatch knobs; setting either faults field routes the
+    #: search through the timeout/retry/failover master
+    fault_policy: FaultPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.n_cores < 1:
@@ -112,6 +118,23 @@ class SystemConfig:
                 "adaptive routing needs the pilot result back at the master, "
                 "which requires two-sided results (one_sided=False)"
             )
+        if self.fault_spec is not None or self.fault_policy is not None:
+            # the FT dispatcher tracks per-task deadlines at the master, so
+            # it needs the two-sided master-worker approx path
+            if self.one_sided:
+                raise SimConfigError(
+                    "fault tolerance needs two-sided results (one_sided=False): "
+                    "one-sided accumulates cannot be timed out per task"
+                )
+            if self.owner_strategy != "master":
+                raise SimConfigError(
+                    "fault tolerance requires owner_strategy='master', "
+                    f"got {self.owner_strategy!r}"
+                )
+            if self.routing != "approx":
+                raise SimConfigError(
+                    f"fault tolerance requires routing='approx', got {self.routing!r}"
+                )
 
     # -- derived topology ---------------------------------------------------
 

@@ -31,10 +31,11 @@ from repro.core.messages import (
 )
 from repro.core.replication import Workgroups
 from repro.core.results import GlobalResults
-from repro.simmpi.engine import Context, Mailbox
+from repro.faults.spec import FaultPolicy
+from repro.simmpi.engine import WAIT_TIMED_OUT, Context, Mailbox
 from repro.vptree.router import PartitionRouter
 
-__all__ = ["master_program", "MasterReport"]
+__all__ = ["master_program", "fault_tolerant_master_program", "MasterReport"]
 
 
 class MasterReport:
@@ -50,6 +51,20 @@ class MasterReport:
         #: in one-sided mode results bypass the master, so per-query
         #: completion is unobservable there (None)
         self.query_latencies: np.ndarray | None = None
+        # -- fault-tolerance accounting (zero / None on the plain paths) --
+        #: re-dispatches to the same core after a timeout
+        self.retries = 0
+        #: re-dispatches to a different replica after a timeout
+        self.failovers = 0
+        #: tasks abandoned with no live replica / attempts exhausted
+        self.failed_tasks = 0
+        #: late or duplicated results dropped by (query, partition) dedup
+        self.duplicate_results = 0
+        #: per-query fraction of routed partitions that answered (1.0 =
+        #: complete); None on the plain paths, where completion is all-or-hang
+        self.completeness: np.ndarray | None = None
+        #: cores the dispatcher declared dead after repeated timeouts
+        self.suspected_dead_cores: list[int] = []
 
 
 def master_program(
@@ -126,7 +141,7 @@ def master_program(
             with ctx.span("reduce"):
                 req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
                 payload = yield from ctx.wait(req)
-                _, qid, d, ids = payload
+                _, qid, _pid_part, d, ids = payload
                 yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
                 results.update(qid, d, ids)
             note_result(qid)
@@ -165,7 +180,7 @@ def master_program(
         with ctx.span("reduce"):
             req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
             payload = yield from ctx.wait(req)
-            _, qid, d, ids = payload
+            _, qid, _pid_part, d, ids = payload
             yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
             results.update(qid, d, ids)
         note_result(qid)
@@ -181,4 +196,222 @@ def master_program(
 
     if not one_sided:
         report.query_latencies = latencies
+    return report
+
+
+def fault_tolerant_master_program(
+    ctx: Context,
+    config: SystemConfig,
+    router: PartitionRouter,
+    workgroups: Workgroups,
+    queries: np.ndarray,
+    results: GlobalResults,
+    node_mailboxes: list[Mailbox],
+    policy: FaultPolicy,
+    task_seconds_hint: float,
+):
+    """Master proc body with timeout / retry / failover dispatch.
+
+    Same protocol as the two-sided approx path of :func:`master_program`,
+    but every (query, partition) task carries a deadline derived from the
+    cost model.  A task that misses its deadline is re-dispatched — to the
+    same core (retry) or, when the workgroup has live alternatives, to the
+    next replica (failover) — with exponential backoff, up to
+    ``policy.max_attempts`` sends.  A core that times out
+    ``policy.suspect_after`` times is suspected dead and excluded from
+    further dispatch.  Tasks with no live replica left are abandoned and
+    surface as per-query ``completeness`` < 1 in the report; the batch
+    never hangs on a crashed rank.  Late answers from abandoned tasks are
+    still merged (they only improve recall); answers for already-completed
+    tasks — late retries or link-level duplicates — are dropped by
+    (query, partition) dedup.  Returns a :class:`MasterReport`.
+    """
+    report = MasterReport(config.n_cores)
+    k = config.k
+    n_q = len(queries)
+    n_threads_total = config.n_nodes * config.threads_per_node
+    batch_start = ctx.now
+
+    # per-attempt deadline: the modeled service time scaled by a generous
+    # multiplier, plus a round trip — loose enough that fault-free runs
+    # never trip it, tight enough that a crashed rank is detected quickly
+    rtt = 2.0 * (ctx.network.inter_latency + ctx.network.sw_overhead)
+    if policy.task_timeout is not None:
+        base_timeout = policy.task_timeout
+    else:
+        base_timeout = max(policy.timeout_multiplier * (task_seconds_hint + rtt), policy.min_timeout)
+
+    # -- route every query up front (approx routing) -------------------------
+    parts_per_query: list[list[int]] = []
+    for qid in range(n_q):
+        with ctx.span("route"):
+            before = router.n_dist_evals
+            parts = router.route_approx(queries[qid], config.n_probe)
+            evals = router.n_dist_evals - before
+            report.route_dist_evals += evals
+            yield from ctx.compute(ctx.cost.distance_cost(evals, queries.shape[1]), kind="route")
+        report.fanouts.append(len(parts))
+        parts_per_query.append([int(p) for p in parts])
+
+    unresolved = np.array([len(p) for p in parts_per_query], dtype=np.int64)
+    latencies = np.full(n_q, np.nan)
+    pending: dict[tuple[int, int], dict] = {}
+    completed: set[tuple[int, int]] = set()
+    failed: set[tuple[int, int]] = set()
+    dead: set[int] = set()
+    timeouts_by_core = np.zeros(config.n_cores, dtype=np.int64)
+
+    def resolve(query_id: int) -> None:
+        # a query is resolved when every routed task completed OR was
+        # abandoned — its latency is final even if degraded
+        unresolved[query_id] -= 1
+        if unresolved[query_id] == 0:
+            latencies[query_id] = ctx.now - batch_start
+
+    def send_task(query_id: int, partition_id: int, core: int):
+        report.dispatch_counts[core] += 1
+        report.tasks_sent += 1
+        node = config.node_of_core(core)
+        yield from ctx.send_to_mailbox(
+            node_mailboxes[node],
+            make_task(query_id, partition_id, queries[query_id]),
+            source=ctx.pid,
+            tag=TAG_TASK,
+            nbytes=task_nbytes(queries[query_id]),
+            same_node=False,
+        )
+
+    def abandon(key: tuple[int, int]) -> None:
+        del pending[key]
+        failed.add(key)
+        report.failed_tasks += 1
+        resolve(key[0])
+
+    def handle_timeout(key: tuple[int, int], struck: set[int]):
+        query_id, partition_id = key
+        state = pending[key]
+        core = state["core"]
+        # many tasks expiring together on one core are ONE piece of evidence
+        # (a single lost message batch), not many — strike each core at most
+        # once per expiry sweep, or a burst would kill the whole cluster
+        if core not in struck:
+            struck.add(core)
+            timeouts_by_core[core] += 1
+            if core not in dead and timeouts_by_core[core] >= policy.suspect_after:
+                dead.add(core)
+                report.suspected_dead_cores.append(int(core))
+        if state["attempts"] >= policy.max_attempts:
+            abandon(key)
+            return
+        # prefer an untried live replica, then any live one, then anything:
+        # suspicion steers dispatch away from dead cores but never forfeits a
+        # task's remaining attempts (suspicion can be wrong — lossy links)
+        nxt = workgroups.next_core(partition_id, exclude=dead | state["tried"])
+        if nxt is None:
+            nxt = workgroups.next_core(partition_id, exclude=dead)
+        if nxt is None:
+            nxt = workgroups.next_core(partition_id, exclude=state["tried"])
+        if nxt is None:
+            nxt = workgroups.next_core(partition_id)
+        state["attempts"] += 1
+        state["tried"].add(nxt)
+        span = "retry" if nxt == state["core"] else "failover"
+        if nxt == state["core"]:
+            report.retries += 1
+        else:
+            report.failovers += 1
+        state["core"] = nxt
+        with ctx.span(span):
+            yield from send_task(query_id, partition_id, nxt)
+        state["deadline"] = ctx.now + base_timeout * policy.backoff ** (state["attempts"] - 1)
+
+    # -- initial dispatch wave -----------------------------------------------
+    for qid in range(n_q):
+        for pid_part in parts_per_query[qid]:
+            core = workgroups.next_core(pid_part, exclude=dead)
+            if core is None:
+                failed.add((qid, pid_part))
+                report.failed_tasks += 1
+                resolve(qid)
+                continue
+            state = {"core": core, "attempts": 1, "tried": {core}, "deadline": 0.0}
+            pending[(qid, pid_part)] = state
+            with ctx.span("dispatch"):
+                yield from send_task(qid, pid_part, core)
+            state["deadline"] = ctx.now + base_timeout
+
+    # -- collect with deadlines ----------------------------------------------
+    recv_req = None
+    while pending:
+        if recv_req is None:
+            recv_req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
+        budget = max(min(s["deadline"] for s in pending.values()) - ctx.now, 0.0)
+        fired, payload = yield from ctx.wait_any([recv_req], timeout=budget)
+        if fired == WAIT_TIMED_OUT:
+            now = ctx.now
+            struck: set[int] = set()
+            for key in [kk for kk, s in pending.items() if s["deadline"] <= now]:
+                yield from handle_timeout(key, struck)
+            continue
+        recv_req = None
+        _, qid, pid_part, d, ids = payload
+        key = (int(qid), int(pid_part))
+        if key in completed:
+            report.duplicate_results += 1
+            continue
+        with ctx.span("reduce"):
+            yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
+            results.update(qid, d, ids)
+        completed.add(key)
+        if key in failed:
+            failed.discard(key)  # late answer recovered an abandoned task
+        elif key in pending:
+            # the answering core is evidence of life: reset its suspicion so
+            # transient losses (lossy links, bursts of queueing) cannot snowball
+            # into the whole workgroup being declared dead
+            core = pending[key]["core"]
+            timeouts_by_core[core] = 0
+            dead.discard(core)
+            del pending[key]
+            resolve(key[0])
+
+    if recv_req is not None:
+        yield from ctx.cancel(recv_req)
+
+    # -- bounded shutdown drain ----------------------------------------------
+    # Rebroadcast "End of Queries" up to drain_rounds times, collecting
+    # thread-done notifications under a timeout each round.  Threads on
+    # crashed nodes never answer; giving up after the rounds keeps shutdown
+    # bounded (the remaining messages die with the simulation).
+    drain_timeout = (
+        policy.drain_timeout if policy.drain_timeout is not None else max(base_timeout, 4.0 * rtt)
+    )
+    got = 0
+    with ctx.span("drain"):
+        for _round in range(policy.drain_rounds):
+            for node in range(config.n_nodes):
+                yield from ctx.send_to_mailbox(
+                    node_mailboxes[node],
+                    ("end",),
+                    source=ctx.pid,
+                    tag=TAG_END,
+                    nbytes=8,
+                    same_node=False,
+                )
+            while got < n_threads_total:
+                req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_THREAD_DONE)
+                fired, _tdone = yield from ctx.wait_any([req], timeout=drain_timeout)
+                if fired == WAIT_TIMED_OUT:
+                    yield from ctx.cancel(req)
+                    break
+                got += 1
+            if got >= n_threads_total:
+                break
+
+    n_parts = np.array([len(p) for p in parts_per_query], dtype=np.float64)
+    done_counts = np.zeros(n_q, dtype=np.float64)
+    for qid, _pid_part in completed:
+        done_counts[qid] += 1.0
+    report.completeness = np.where(n_parts > 0, done_counts / np.maximum(n_parts, 1.0), 1.0)
+    report.query_latencies = latencies
     return report

@@ -38,9 +38,16 @@ def task_nbytes(qvec: np.ndarray) -> int:
     return int(qvec.nbytes) + 24
 
 
-def make_result(query_id: int, dists: np.ndarray, ids: np.ndarray) -> tuple:
-    return ("result", int(query_id), dists, ids)
+def make_result(query_id: int, partition_id: int, dists: np.ndarray, ids: np.ndarray) -> tuple:
+    """A worker's local k-NN answer for one (query, partition) task.
+
+    The partition id rides along so a fault-tolerant collector can mark
+    exactly which task completed and drop duplicates (late answers from
+    timed-out attempts, or link-level message duplication).
+    """
+    return ("result", int(query_id), int(partition_id), dists, ids)
 
 
 def result_nbytes(dists: np.ndarray, ids: np.ndarray) -> int:
-    return int(dists.nbytes + ids.nbytes) + 16
+    # distances + ids + query/partition ids + header
+    return int(dists.nbytes + ids.nbytes) + 24

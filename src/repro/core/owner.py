@@ -78,7 +78,7 @@ def owner_node_program(
         with ctx.span("reduce"):
             req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
             payload = yield from ctx.wait(req)
-            _, qid, d, ids = payload
+            _, qid, _pid_part, d, ids = payload
             yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
             results.update(qid, d, ids)
 

@@ -5,9 +5,20 @@ cores ``{p_i, p_(i+1) mod P, ..., p_(i+r-1) mod P}``.  Every node whose
 cores appear in a workgroup loads a replica of that partition, and the
 master dispatches each (query, partition) task to the workgroup's cores in
 round-robin order via a per-group circular ``next`` pointer.
+
+Replica selection is deterministic: with the default ``seed=None`` every
+pointer starts at the group's first core (the paper's scheme, and the
+behaviour the golden tests pin down); with an integer seed the starting
+offsets are drawn reproducibly from ``random.Random(seed)``, which
+de-synchronizes the round-robins across partitions while keeping
+fault-injection and golden runs bit-for-bit repeatable.  ``next_core`` can
+also *exclude* cores (suspected-dead replicas) — the hook the
+fault-tolerant dispatcher uses for failover.
 """
 
 from __future__ import annotations
+
+from random import Random
 
 from repro.simmpi.errors import SimConfigError
 
@@ -17,7 +28,7 @@ __all__ = ["Workgroups"]
 class Workgroups:
     """Round-robin dispatch state over replicated partitions."""
 
-    def __init__(self, n_cores: int, replication_factor: int) -> None:
+    def __init__(self, n_cores: int, replication_factor: int, seed: int | None = None) -> None:
         if n_cores < 1:
             raise SimConfigError(f"n_cores must be >= 1, got {n_cores}")
         if not 1 <= replication_factor <= n_cores:
@@ -26,10 +37,16 @@ class Workgroups:
             )
         self.n_cores = n_cores
         self.r = replication_factor
+        self.seed = seed
         self._groups = [
             [(i + j) % n_cores for j in range(replication_factor)] for i in range(n_cores)
         ]
-        self._next = [0] * n_cores
+        if seed is None:
+            self._offsets = [0] * n_cores
+        else:
+            rng = Random(seed)
+            self._offsets = [rng.randrange(replication_factor) for _ in range(n_cores)]
+        self._next = list(self._offsets)
 
     def cores_for_partition(self, partition_id: int) -> list[int]:
         """The workgroup W_i (cores holding a replica of partition i)."""
@@ -41,14 +58,23 @@ class Workgroups:
             (core - j) % self.n_cores for j in range(self.r)
         )
 
-    def next_core(self, partition_id: int) -> int:
+    def next_core(self, partition_id: int, exclude=()) -> int | None:
         """Round-robin pick from partition_id's workgroup (advances the
-        circular pointer, Alg. 5 lines 10-11)."""
+        circular pointer, Alg. 5 lines 10-11).
+
+        Cores in ``exclude`` are skipped; returns None when the whole
+        workgroup is excluded (no live replica — the degraded case).
+        """
         group = self._groups[partition_id]
-        core = group[self._next[partition_id]]
-        self._next[partition_id] = (self._next[partition_id] + 1) % len(group)
-        return core
+        n = len(group)
+        for step in range(n):
+            idx = (self._next[partition_id] + step) % n
+            core = group[idx]
+            if core not in exclude:
+                self._next[partition_id] = (idx + 1) % n
+                return core
+        return None
 
     def reset(self) -> None:
         """Rewind all circular pointers (between query batches)."""
-        self._next = [0] * self.n_cores
+        self._next = list(self._offsets)

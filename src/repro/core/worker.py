@@ -78,7 +78,7 @@ def worker_thread_program(
                 else:
                     yield from ctx.send_to_mailbox(
                         reply_to,
-                        make_result(query_id, dists, ids),
+                        make_result(query_id, partition_id, dists, ids),
                         source=ctx.pid,
                         tag=reply_tag,
                         nbytes=result_nbytes(dists, ids),

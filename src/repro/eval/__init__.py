@@ -5,6 +5,7 @@ so benchmark output lines up with the evaluation section one-to-one.
 """
 
 from repro.eval.recall import recall_at_k, per_query_recall
+from repro.eval.availability import AvailabilityStats, availability_stats, degraded_recall
 from repro.eval.load import load_distribution, LoadStats
 from repro.eval.scaling import speedup_table, ScalingRow
 from repro.eval.latency import latency_stats, LatencyStats
@@ -13,6 +14,9 @@ from repro.eval.reporting import format_table, format_histogram, format_phase_br
 __all__ = [
     "recall_at_k",
     "per_query_recall",
+    "AvailabilityStats",
+    "availability_stats",
+    "degraded_recall",
     "load_distribution",
     "LoadStats",
     "speedup_table",

@@ -1,0 +1,108 @@
+"""Availability and degraded-recall metrics for fault-injected runs.
+
+A fault-tolerant search never hangs on a crashed rank: every query comes
+back either *complete* (all routed partitions answered, possibly via
+failover replicas) or *degraded* (some tasks abandoned, flagged by a
+per-query completeness fraction < 1 in the
+:class:`~repro.runtime.report.SearchReport`).  These helpers reduce that
+per-query record to the numbers a fault-injection experiment reports:
+availability (fraction of fully-answered queries), and recall split by
+complete vs. degraded queries — quantifying how much quality a lost
+replica actually costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.recall import per_query_recall
+
+__all__ = ["AvailabilityStats", "availability_stats", "degraded_recall"]
+
+
+@dataclass(frozen=True)
+class AvailabilityStats:
+    """Per-batch availability summary under fault injection."""
+
+    n_queries: int
+    #: queries whose every routed partition answered
+    n_complete: int
+    #: queries flagged partial (completeness < 1)
+    n_degraded: int
+    #: n_complete / n_queries
+    availability: float
+    #: mean completeness over all queries (1.0 on a clean run)
+    mean_completeness: float
+    #: minimum per-query completeness (0.0 = some query got nothing back)
+    min_completeness: float
+
+    def __str__(self) -> str:
+        return (
+            f"availability {self.availability:.3f} "
+            f"({self.n_complete}/{self.n_queries} complete, "
+            f"{self.n_degraded} degraded, "
+            f"mean completeness {self.mean_completeness:.3f})"
+        )
+
+
+def availability_stats(completeness: np.ndarray | None, n_queries: int) -> AvailabilityStats:
+    """Summarize a report's per-query ``completeness`` array.
+
+    ``completeness=None`` (a run without the fault-tolerant dispatcher)
+    counts as fully available — the plain paths either answer everything
+    or fail loudly.
+    """
+    if n_queries < 0:
+        raise ValueError(f"n_queries must be >= 0, got {n_queries}")
+    if completeness is None:
+        return AvailabilityStats(
+            n_queries=n_queries,
+            n_complete=n_queries,
+            n_degraded=0,
+            availability=1.0,
+            mean_completeness=1.0,
+            min_completeness=1.0,
+        )
+    c = np.asarray(completeness, dtype=np.float64)
+    if len(c) != n_queries:
+        raise ValueError(f"completeness has {len(c)} entries for {n_queries} queries")
+    if n_queries == 0:
+        return AvailabilityStats(0, 0, 0, 1.0, 1.0, 1.0)
+    complete = int(np.sum(c >= 1.0))
+    return AvailabilityStats(
+        n_queries=n_queries,
+        n_complete=complete,
+        n_degraded=n_queries - complete,
+        availability=complete / n_queries,
+        mean_completeness=float(np.mean(c)),
+        min_completeness=float(np.min(c)),
+    )
+
+
+def degraded_recall(
+    result_ids: np.ndarray,
+    gt_ids: np.ndarray,
+    completeness: np.ndarray | None,
+    gt_dists: np.ndarray | None = None,
+    result_dists: np.ndarray | None = None,
+) -> dict:
+    """Recall split by query completeness.
+
+    Returns ``{"overall", "complete", "degraded"}`` mean recalls;
+    ``complete``/``degraded`` are NaN when their slice is empty, so a
+    fault-free run reports ``degraded=nan`` rather than a misleading 0.
+    """
+    per_q = per_query_recall(result_ids, gt_ids, gt_dists, result_dists)
+    if completeness is None:
+        mask = np.ones(len(per_q), dtype=bool)
+    else:
+        c = np.asarray(completeness, dtype=np.float64)
+        if len(c) != len(per_q):
+            raise ValueError(f"completeness has {len(c)} entries for {len(per_q)} queries")
+        mask = c >= 1.0
+    overall = float(np.mean(per_q)) if len(per_q) else float("nan")
+    complete = float(np.mean(per_q[mask])) if mask.any() else float("nan")
+    degraded = float(np.mean(per_q[~mask])) if (~mask).any() else float("nan")
+    return {"overall": overall, "complete": complete, "degraded": degraded}

@@ -31,6 +31,7 @@ from repro.core.replication import Workgroups
 from repro.core.results import GlobalResults
 from repro.core.searcher import LocalSearcher
 from repro.core.worker import worker_thread_program
+from repro.faults.injector import FaultInjector
 from repro.runtime.report import ReportBuilder, SearchReport
 from repro.runtime.strategies import DispatchStrategy
 from repro.simmpi.engine import Event, Simulation
@@ -62,9 +63,10 @@ class ClusterRuntime:
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
-        self.sim = Simulation(network=config.network, cost=config.cost)
+        self.faults = FaultInjector(config.fault_spec) if config.fault_spec is not None else None
+        self.sim = Simulation(network=config.network, cost=config.cost, faults=self.faults)
         self.node_mailboxes = [
-            self.sim.new_mailbox(f"node{n}") for n in range(config.n_nodes)
+            self.sim.new_mailbox(f"node{n}", node=n) for n in range(config.n_nodes)
         ]
 
     def run_search(

@@ -47,6 +47,40 @@ class SearchReport:
     #: elapsed virtual seconds per pipeline phase, summed over all procs —
     #: keys always include :data:`~repro.simmpi.trace.PHASES`
     phase_breakdown: dict = field(default_factory=dict)
+    # -- fault-tolerance measurements (zeros / None on fault-free runs) --
+    #: re-dispatches to the same core after a task timeout
+    retries: int = 0
+    #: re-dispatches to a different replica after a task timeout
+    failovers: int = 0
+    #: tasks abandoned after exhausting attempts / live replicas
+    failed_tasks: int = 0
+    #: late or duplicated results dropped by the dedup at the master
+    duplicate_results: int = 0
+    #: cores the dispatcher suspected dead (repeated timeouts)
+    suspected_dead_cores: list = field(default_factory=list)
+    #: per-query fraction of routed partitions that answered, in [0, 1];
+    #: None unless the fault-tolerant dispatcher ran
+    completeness: np.ndarray | None = None
+    #: injected fault events ((virtual time, kind, detail) tuples) recorded
+    #: by the FaultInjector during the run
+    fault_events: tuple = ()
+    #: pids killed by injected rank crashes
+    crashed_pids: tuple = ()
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries answered with full completeness (1.0 when no
+        fault-tolerant accounting was active)."""
+        if self.completeness is None or len(self.completeness) == 0:
+            return 1.0
+        return float(np.mean(self.completeness >= 1.0))
+
+    @property
+    def degraded_queries(self) -> int:
+        """Number of queries flagged partial (completeness < 1)."""
+        if self.completeness is None:
+            return 0
+        return int(np.sum(self.completeness < 1.0))
 
     @property
     def throughput(self) -> float:
@@ -90,9 +124,25 @@ class ReportBuilder:
     def build(self) -> SearchReport:
         out = self.out
         coord = set(self.coordinator_pids)
-        creports = [out.results[p] for p in self.coordinator_pids]
+        # a coordinator killed by an injected crash never returned a report
+        creports = [r for r in (out.results[p] for p in self.coordinator_pids) if r is not None]
         coord_stats = [out.stats[p] for p in self.coordinator_pids]
         worker_stats = [s for p, s in out.stats.items() if p not in coord]
+
+        if not creports:  # every coordinator crashed: nothing was answered
+            return SearchReport(
+                total_seconds=out.makespan,
+                n_queries=self.n_queries,
+                tasks=0,
+                dispatch_counts=None,
+                worker_breakdown=aggregate_stats(worker_stats),
+                master_breakdown=aggregate_stats(coord_stats),
+                n_events=out.n_events,
+                phase_breakdown=aggregate_spans(list(out.stats.values())),
+                completeness=np.zeros(self.n_queries),
+                fault_events=tuple(out.fault_events),
+                crashed_pids=tuple(out.crashed_pids),
+            )
 
         tasks = sum(r.tasks_sent for r in creports)
         counts = np.sum([r.dispatch_counts for r in creports], axis=0)
@@ -101,6 +151,9 @@ class ReportBuilder:
         # every result land (the two-sided master); owners each see only
         # their own slice and one-sided results bypass the master entirely
         latencies = creports[0].query_latencies if len(creports) == 1 else None
+        # completeness is per-query, so it only composes from a single
+        # coordinator (the fault-tolerant master)
+        completeness = creports[0].completeness if len(creports) == 1 else None
 
         return SearchReport(
             total_seconds=out.makespan,
@@ -113,4 +166,14 @@ class ReportBuilder:
             n_events=out.n_events,
             query_latencies=latencies,
             phase_breakdown=aggregate_spans(list(out.stats.values())),
+            retries=sum(r.retries for r in creports),
+            failovers=sum(r.failovers for r in creports),
+            failed_tasks=sum(r.failed_tasks for r in creports),
+            duplicate_results=sum(r.duplicate_results for r in creports),
+            suspected_dead_cores=sorted(
+                {c for r in creports for c in r.suspected_dead_cores}
+            ),
+            completeness=completeness,
+            fault_events=tuple(out.fault_events),
+            crashed_pids=tuple(out.crashed_pids),
         )

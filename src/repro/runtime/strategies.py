@@ -23,8 +23,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.master import master_program
+from repro.core.master import fault_tolerant_master_program, master_program
 from repro.core.owner import owner_node_program
+from repro.faults.spec import FaultPolicy
 from repro.simmpi.comm import Comm
 from repro.simmpi.engine import Mailbox
 from repro.simmpi.rma import Window
@@ -71,6 +72,25 @@ class DispatchStrategy(ABC):
         """
 
 
+def _estimate_task_seconds(cfg, job) -> float:
+    """Modeled virtual seconds of one local search, for deadline derivation.
+
+    Prefers the calibrated ``modeled_search_seconds`` override, else the
+    analytic HNSW estimate on the average resident partition size.
+    """
+    if cfg.modeled_search_seconds is not None:
+        return cfg.modeled_search_seconds
+    if cfg.searcher == "modeled":
+        n = cfg.modeled_partition_points
+    else:
+        sizes = [
+            p.n_points for store in job.node_stores.values() for p in store.partitions.values()
+        ]
+        n = max(int(np.mean(sizes)), 1) if sizes else 1
+    dim = job.Q.shape[1] if job.Q.ndim == 2 else 1
+    return cfg.cost.hnsw_search_cost(n, dim, cfg.effective_ef_search, cfg.hnsw.M)
+
+
 class MasterWorkerStrategy(DispatchStrategy):
     """One master routes and dispatches every query (Algs. 3 and 5).
 
@@ -88,20 +108,41 @@ class MasterWorkerStrategy(DispatchStrategy):
         cfg = rt.config
         master_node = cfg.n_nodes  # the master gets a node of its own
         window_holder: list[Window | None] = [None]
+        fault_tolerant = cfg.fault_spec is not None or cfg.fault_policy is not None
 
-        def master(ctx):
-            return (
-                yield from master_program(
-                    ctx,
-                    cfg,
-                    job.router,
-                    job.workgroups,
-                    job.Q,
-                    job.results,
-                    rt.node_mailboxes,
-                    window_holder[0],
+        if fault_tolerant:
+            policy = cfg.fault_policy if cfg.fault_policy is not None else FaultPolicy()
+            task_seconds = _estimate_task_seconds(cfg, job)
+
+            def master(ctx):
+                return (
+                    yield from fault_tolerant_master_program(
+                        ctx,
+                        cfg,
+                        job.router,
+                        job.workgroups,
+                        job.Q,
+                        job.results,
+                        rt.node_mailboxes,
+                        policy,
+                        task_seconds,
+                    )
                 )
-            )
+        else:
+
+            def master(ctx):
+                return (
+                    yield from master_program(
+                        ctx,
+                        cfg,
+                        job.router,
+                        job.workgroups,
+                        job.Q,
+                        job.results,
+                        rt.node_mailboxes,
+                        window_holder[0],
+                    )
+                )
 
         pid = rt.sim.add_proc(master, node=master_node, name="master")
         if cfg.one_sided:

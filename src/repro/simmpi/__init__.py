@@ -26,7 +26,7 @@ Design
   simulated timings scale the way the paper's hardware does.
 """
 
-from repro.simmpi.errors import SimError, DeadlockError, SimConfigError
+from repro.simmpi.errors import SimError, DeadlockError, ProcError, SimConfigError
 from repro.simmpi.topology import ClusterTopology
 from repro.simmpi.network import NetworkModel, ARIES_LIKE, ETHERNET_LIKE, XC40_AT_SCALE
 from repro.simmpi.costmodel import CostModel, calibrate_cost_model
@@ -37,6 +37,7 @@ from repro.simmpi.engine import (
     Request,
     ANY_SOURCE,
     ANY_TAG,
+    WAIT_TIMED_OUT,
 )
 from repro.simmpi.comm import Comm
 from repro.simmpi.rma import Window
@@ -49,6 +50,7 @@ __all__ = [
     "aggregate_spans",
     "SimError",
     "DeadlockError",
+    "ProcError",
     "SimConfigError",
     "ClusterTopology",
     "NetworkModel",
@@ -65,4 +67,5 @@ __all__ = [
     "Window",
     "ANY_SOURCE",
     "ANY_TAG",
+    "WAIT_TIMED_OUT",
 ]

@@ -22,6 +22,18 @@ Blocking primitives:
 - ``test(request)``     — non-blocking completion check; charges the
   network model's poll cost so code that *does* poll pays for it,
 - collectives and RMA — see :mod:`repro.simmpi.comm` / :mod:`~repro.simmpi.rma`.
+
+``wait_any`` additionally takes an optional virtual-time ``timeout``; a
+wait that times out resumes with ``(WAIT_TIMED_OUT, None)`` at exactly the
+deadline — the primitive fault-tolerant dispatch builds retries on.
+
+Fault injection: constructed with a :class:`~repro.faults.FaultInjector`,
+the engine perturbs the fabric per the injector's spec — procs on a
+crashed node stop executing at the crash instant (state ``crashed``, not
+``done``), messages to a crashed node are lost, per-link faults drop /
+duplicate / delay sends, and slow nodes scale their compute charges.  All
+perturbations advance virtual time through the normal cost paths and are
+logged in :attr:`SimulationResult.fault_events`.
 """
 
 from __future__ import annotations
@@ -35,13 +47,14 @@ from typing import Any, Callable, Generator
 import numpy as np
 
 from repro.simmpi.costmodel import CostModel
-from repro.simmpi.errors import DeadlockError, SimConfigError, SimError
+from repro.simmpi.errors import DeadlockError, ProcError, SimConfigError, SimError
 from repro.simmpi.network import NetworkModel
 from repro.simmpi.trace import ProcStats
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "WAIT_TIMED_OUT",
     "Context",
     "Event",
     "Mailbox",
@@ -53,6 +66,9 @@ __all__ = [
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+#: index returned by ``wait_any(..., timeout=...)`` when the wait timed out
+WAIT_TIMED_OUT = -1
 
 
 def _tag_matches(pattern, tag) -> bool:
@@ -73,6 +89,7 @@ def _tag_matches(pattern, tag) -> bool:
 _RUNNABLE = "runnable"
 _BLOCKED = "blocked"
 _DONE = "done"
+_CRASHED = "crashed"
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -133,6 +150,7 @@ class _Wait:
 @dataclass
 class _WaitAny:
     waitables: list
+    timeout: float | None = None
 
 
 @dataclass
@@ -245,12 +263,17 @@ class Mailbox:
     One mailbox per MPI rank; worker threads of one rank share their rank's
     mailbox, which is what gives the paper's dynamic intra-node work
     pulling.
+
+    ``node`` records which compute node the mailbox lives on (None when
+    unknown); the fault injector uses it to resolve the (src, dst) link of
+    a send and to drop messages addressed to a crashed node.
     """
 
-    __slots__ = ("name", "_queue", "_pending")
+    __slots__ = ("name", "node", "_queue", "_pending")
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(self, name: str = "", node: int | None = None) -> None:
         self.name = name
+        self.node = node
         self._queue: deque[_Message] = deque()
         self._pending: list[Request] = []
 
@@ -276,8 +299,10 @@ class _Proc:
         "result",
         "stats",
         "heap_token",
+        "timeout_token",
         "_block_start",
         "_wait_entries",
+        "_wait_is_any",
     )
 
     def __init__(self, pid: int, name: str, node: int, mailbox: Mailbox):
@@ -292,8 +317,10 @@ class _Proc:
         self.result: Any = None
         self.stats = ProcStats(name=name)
         self.heap_token = 0
+        self.timeout_token: int | None = None
         self._block_start = 0.0
         self._wait_entries: list = []
+        self._wait_is_any = False
 
 
 class _SpanScope:
@@ -416,10 +443,18 @@ class Context:
         payload = yield _Wait(request)
         return payload
 
-    def wait_any(self, waitables: list):
+    def wait_any(self, waitables: list, timeout: float | None = None):
         """Block until any request/event completes; resumes with
-        ``(index, payload)`` (payload is None for events)."""
-        result = yield _WaitAny(list(waitables))
+        ``(index, payload)`` (payload is None for events).
+
+        With a ``timeout`` (virtual seconds), resumes with
+        ``(WAIT_TIMED_OUT, None)`` at the deadline if nothing completed
+        first; the waitables stay registered with their mailboxes, so a
+        timed-out receive can be waited on again or cancelled.
+        """
+        if timeout is not None and timeout < 0:
+            raise SimError(f"negative wait_any timeout {timeout}")
+        result = yield _WaitAny(list(waitables), timeout)
         return result
 
     def test(self, request: Request):
@@ -458,6 +493,10 @@ class SimulationResult:
     stats: dict[int, ProcStats]
     #: total number of engine events processed
     n_events: int
+    #: pids of procs killed by an injected crash (empty without faults)
+    crashed_pids: tuple[int, ...] = ()
+    #: fault-injection event log, in virtual-time order (empty without faults)
+    fault_events: tuple = ()
 
     def stats_by_name(self, prefix: str) -> list[ProcStats]:
         return [s for s in self.stats.values() if s.name.startswith(prefix)]
@@ -471,10 +510,14 @@ class Simulation:
         network: NetworkModel | None = None,
         cost: CostModel | None = None,
         max_events: int = 200_000_000,
+        faults=None,
     ) -> None:
         self.network = network or NetworkModel()
         self.cost = cost or CostModel()
         self.max_events = max_events
+        #: optional :class:`~repro.faults.FaultInjector` (duck-typed to
+        #: avoid a package cycle); None = perfect fabric
+        self.faults = faults
         self._procs: list[_Proc] = []
         self._runq: list[tuple[float, int, int]] = []
         self._seq = itertools.count()
@@ -483,8 +526,8 @@ class Simulation:
 
     # -- construction --------------------------------------------------------
 
-    def new_mailbox(self, name: str = "") -> Mailbox:
-        return Mailbox(name)
+    def new_mailbox(self, name: str = "", node: int | None = None) -> Mailbox:
+        return Mailbox(name, node)
 
     def add_proc(
         self,
@@ -499,7 +542,7 @@ class Simulation:
         if self._started:
             raise SimError("cannot add procs after run() started")
         pid = len(self._procs)
-        proc = _Proc(pid, name or f"proc{pid}", node, mailbox or Mailbox(f"mb{pid}"))
+        proc = _Proc(pid, name or f"proc{pid}", node, mailbox or Mailbox(f"mb{pid}", node))
         ctx = Context(self, proc)
         gen = program(ctx, *args)
         if not hasattr(gen, "send"):
@@ -525,10 +568,25 @@ class Simulation:
         self._started = True
         for proc in self._procs:
             self._push(proc)
+        crash_schedule: list[tuple[int, float]] = []
+        if self.faults is not None:
+            # crashes are first-class engine events: one marker per crash,
+            # with a negative pid, popped at exactly the crash instant
+            crash_schedule = self.faults.crash_schedule()
+            for i, (_, at) in enumerate(crash_schedule):
+                heapq.heappush(self._runq, (at, next(self._seq), -(i + 1)))
         n_events = 0
         while self._runq:
             clock, token, pid = heapq.heappop(self._runq)
+            if pid < 0:
+                node, at = crash_schedule[-pid - 1]
+                self._enact_crash(node, at)
+                continue
             proc = self._procs[pid]
+            if proc.state == _BLOCKED and token == proc.timeout_token:
+                n_events += 1
+                self._fire_timeout(proc, clock)
+                continue
             if proc.state != _RUNNABLE or token != proc.heap_token:
                 continue  # stale heap entry
             n_events += 1
@@ -538,7 +596,7 @@ class Simulation:
                     "likely a busy-poll loop — use wait/wait_any instead of test loops"
                 )
             self._step(proc)
-        unfinished = [p for p in self._procs if p.state != _DONE]
+        unfinished = [p for p in self._procs if p.state not in (_DONE, _CRASHED)]
         if unfinished:
             desc = ", ".join(f"{p.name}(pid={p.pid}, state={p.state})" for p in unfinished[:10])
             raise DeadlockError(
@@ -550,6 +608,8 @@ class Simulation:
             results={p.pid: p.result for p in self._procs},
             stats={p.pid: p.stats for p in self._procs},
             n_events=n_events,
+            crashed_pids=tuple(p.pid for p in self._procs if p.state == _CRASHED),
+            fault_events=tuple(self.faults.events) if self.faults is not None else (),
         )
 
     # -- internals ---------------------------------------------------------------
@@ -564,10 +624,56 @@ class Simulation:
         proc._block_start = proc.clock
 
     def _unblock(self, proc: _Proc, at_time: float) -> None:
+        proc.timeout_token = None  # a pending wait deadline no longer applies
         new_clock = max(proc.clock, at_time)
         proc.stats.comm_wait += new_clock - proc._block_start
         proc.clock = new_clock
         self._push(proc)
+
+    def _fire_timeout(self, proc: _Proc, deadline: float) -> None:
+        """A ``wait_any`` deadline passed with nothing completed."""
+        entries = proc._wait_entries
+        proc._wait_entries = []
+        for w in entries:
+            # leave requests posted on their mailboxes (the caller may wait
+            # again or cancel); only detach this proc as the waiter
+            if isinstance(w, Request):
+                w._waiter = None
+            elif isinstance(w, Event) and proc in w._waiters:
+                w._waiters.remove(proc)
+        proc.sendval = (WAIT_TIMED_OUT, None)
+        self._unblock(proc, deadline)
+
+    # -- fault enactment ---------------------------------------------------------
+
+    def _enact_crash(self, node: int, at: float) -> None:
+        """Fail-stop crash of ``node``: every proc on it dies at time ``at``."""
+        self.faults.record("crash", at, node=node)
+        for proc in self._procs:
+            if proc.node == node and proc.state not in (_DONE, _CRASHED):
+                self._kill(proc, at)
+
+    def _kill(self, proc: _Proc, at: float) -> None:
+        # withdraw every posted receive and wait registration — a dead rank
+        # must never consume a message or wake from an event
+        for req in list(proc.mailbox._pending):
+            if req._waiter is proc:
+                proc.mailbox._pending.remove(req)
+        for w in proc._wait_entries:
+            if isinstance(w, Request):
+                w._waiter = None
+                if w in w._mailbox._pending:
+                    w._mailbox._pending.remove(w)
+            elif isinstance(w, Event) and proc in w._waiters:
+                w._waiters.remove(proc)
+        proc._wait_entries = []
+        proc.timeout_token = None
+        proc.state = _CRASHED
+        proc.clock = max(proc.clock, at)
+        try:
+            proc.gen.close()
+        except Exception:
+            pass  # cleanup code in the dying proc must not sink the engine
 
     def _step(self, proc: _Proc) -> None:
         """Advance one syscall of ``proc``'s generator."""
@@ -583,17 +689,24 @@ class Simulation:
             # annotate failures with simulation context — "which rank died
             # at what virtual time" is the first thing one needs to debug a
             # distributed algorithm
-            raise SimError(
+            raise ProcError(
                 f"proc {proc.name!r} (pid={proc.pid}, node={proc.node}) raised "
-                f"{type(exc).__name__} at virtual t={proc.clock:.6f}: {exc}"
+                f"{type(exc).__name__} at virtual t={proc.clock:.6f}: {exc}",
+                proc_name=proc.name,
+                pid=proc.pid,
+                node=proc.node,
+                virtual_time=proc.clock,
             ) from exc
         proc.sendval = None
         self._dispatch(proc, syscall)
 
     def _dispatch(self, proc: _Proc, sc: Any) -> None:
         if isinstance(sc, _Compute):
-            proc.clock += sc.seconds
-            proc.stats.add_compute(sc.kind, sc.seconds)
+            seconds = sc.seconds
+            if self.faults is not None:
+                seconds *= self.faults.compute_factor(proc.node)
+            proc.clock += seconds
+            proc.stats.add_compute(sc.kind, seconds)
             self._push(proc)
         elif isinstance(sc, _SendMsg):
             self._do_send(proc, sc)
@@ -603,7 +716,7 @@ class Simulation:
         elif isinstance(sc, _Wait):
             self._do_wait(proc, sc.request)
         elif isinstance(sc, _WaitAny):
-            self._do_wait_any(proc, sc.waitables)
+            self._do_wait_any(proc, sc.waitables, sc.timeout)
         elif isinstance(sc, _Test):
             proc.clock += self.network.poll_cost
             proc.stats.poll_time += self.network.poll_cost
@@ -646,9 +759,23 @@ class Simulation:
         proc.stats.send_time += overhead
         proc.stats.msgs_sent += 1
         proc.stats.bytes_sent += sc.nbytes
-        arrival = proc.clock + self.network.p2p_time(sc.nbytes, sc.same_node)
-        msg = _Message(arrival, next(self._seq), sc.source, sc.tag, sc.payload, sc.nbytes)
-        self._deliver(sc.mailbox, msg)
+        if self.faults is None:
+            transfers = [self.network.p2p_time(sc.nbytes, sc.same_node)]
+        else:
+            # the sender is always charged its overhead above — a dropped
+            # message costs the origin the same CPU time as a delivered one
+            transfers = self.faults.transfer_times(
+                proc.node, sc.mailbox.node, sc.nbytes, sc.same_node, self.network, proc.clock
+            )
+        for wire in transfers:
+            arrival = proc.clock + wire
+            if self.faults is not None and self.faults.node_down(sc.mailbox.node, arrival):
+                self.faults.record(
+                    "msg_lost_node_down", arrival, src=proc.node, dst=sc.mailbox.node, tag=sc.tag
+                )
+                continue
+            msg = _Message(arrival, next(self._seq), sc.source, sc.tag, sc.payload, sc.nbytes)
+            self._deliver(sc.mailbox, msg)
         self._push(proc)
 
     def _deliver(self, mailbox: Mailbox, msg: _Message) -> None:
@@ -686,9 +813,10 @@ class Simulation:
         else:
             req._waiter = proc
             proc._wait_entries = [req]
+            proc._wait_is_any = False
             self._block(proc)
 
-    def _do_wait_any(self, proc: _Proc, waitables: list) -> None:
+    def _do_wait_any(self, proc: _Proc, waitables: list, timeout: float | None = None) -> None:
         # immediate completion?
         for idx, w in enumerate(waitables):
             if isinstance(w, Request) and w.done and not w.cancelled:
@@ -704,6 +832,7 @@ class Simulation:
                 return
         # none ready: register on all
         proc._wait_entries = list(waitables)
+        proc._wait_is_any = True
         for w in waitables:
             if isinstance(w, Request):
                 w._waiter = proc
@@ -712,6 +841,11 @@ class Simulation:
             else:
                 raise SimError(f"unsupported waitable {w!r}")
         self._block(proc)
+        if timeout is not None:
+            # arm a deadline: a heap entry keyed to timeout_token; completion
+            # of any waitable clears the token, making the entry inert
+            proc.timeout_token = next(self._seq)
+            heapq.heappush(self._runq, (proc.clock + timeout, proc.timeout_token, proc.pid))
 
     def _finish_wait_any(self, proc: _Proc, fired: Any, payload: Any) -> None:
         """A registered waitable fired while ``proc`` was blocked."""
@@ -731,13 +865,12 @@ class Simulation:
         if isinstance(fired, Request):
             at = fired.completion_time + self.network.recv_overhead()
             proc.stats.recv_time += self.network.recv_overhead()
-            if len(entries) == 1:
-                proc.sendval = payload  # plain wait()
-            else:
-                proc.sendval = (idx, payload)
         else:
             at = fired.set_time
-            proc.sendval = (idx, payload) if len(entries) > 1 else payload
+        # wait_any always returns (index, payload) — even for one waitable —
+        # so a timeout sentinel (-1, None) stays distinguishable; plain
+        # wait() returns the bare payload
+        proc.sendval = (idx, payload) if proc._wait_is_any else payload
         self._unblock(proc, at)
 
     # -- collectives -----------------------------------------------------------------

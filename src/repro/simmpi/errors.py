@@ -2,11 +2,36 @@
 
 from __future__ import annotations
 
-__all__ = ["SimError", "DeadlockError", "SimConfigError"]
+__all__ = ["SimError", "DeadlockError", "ProcError", "SimConfigError"]
 
 
 class SimError(RuntimeError):
     """Base class for simulation-runtime failures."""
+
+
+class ProcError(SimError):
+    """A proc's Python code raised an exception.
+
+    Carries the simulation context — *which rank died at what virtual
+    time* is the first thing one needs to debug a distributed algorithm —
+    as typed attributes, not just message text, so tooling and tests can
+    dispatch on them.  The original exception is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        proc_name: str = "",
+        pid: int = -1,
+        node: int = -1,
+        virtual_time: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.proc_name = proc_name
+        self.pid = pid
+        self.node = node
+        self.virtual_time = virtual_time
 
 
 class DeadlockError(SimError):

@@ -67,11 +67,29 @@ class NetworkModel:
 
     # -- point-to-point ---------------------------------------------------
 
-    def p2p_time(self, nbytes: int, same_node: bool) -> float:
-        """One-way transfer time for an eager point-to-point message."""
+    def p2p_time(
+        self,
+        nbytes: int,
+        same_node: bool,
+        *,
+        latency_factor: float = 1.0,
+        bandwidth_factor: float = 1.0,
+    ) -> float:
+        """One-way transfer time for an eager point-to-point message.
+
+        The optional factors scale this one transfer's alpha-beta
+        parameters — the hook :class:`~repro.faults.FaultInjector` uses to
+        model persistently degraded links without mutating the model.
+        """
         if same_node:
-            return self.intra_latency + nbytes / self.intra_bandwidth
-        return self.inter_latency + nbytes / self.inter_bandwidth
+            return (
+                self.intra_latency * latency_factor
+                + nbytes / (self.intra_bandwidth * bandwidth_factor)
+            )
+        return (
+            self.inter_latency * latency_factor
+            + nbytes / (self.inter_bandwidth * bandwidth_factor)
+        )
 
     def send_overhead(self) -> float:
         """CPU time the sender spends initiating a non-blocking send."""

@@ -51,3 +51,54 @@ class TestWorkgroups:
             Workgroups(4, 5)
         with pytest.raises(SimConfigError):
             Workgroups(4, 0)
+
+
+class TestSeededOffsets:
+    def test_default_seed_starts_at_group_head(self):
+        wg = Workgroups(6, 3)
+        assert all(wg.next_core(p) == wg.cores_for_partition(p)[0] for p in range(6))
+
+    def test_same_seed_same_sequence(self):
+        a = Workgroups(8, 3, seed=11)
+        b = Workgroups(8, 3, seed=11)
+        seq_a = [a.next_core(p) for p in range(8) for _ in range(4)]
+        seq_b = [b.next_core(p) for p in range(8) for _ in range(4)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_desynchronize(self):
+        a = Workgroups(32, 4, seed=1)
+        b = Workgroups(32, 4, seed=2)
+        assert [a.next_core(p) for p in range(32)] != [b.next_core(p) for p in range(32)]
+
+    def test_seeded_picks_stay_in_workgroup(self):
+        wg = Workgroups(10, 3, seed=99)
+        for p in range(10):
+            assert wg.next_core(p) in wg.cores_for_partition(p)
+
+    def test_reset_restores_seeded_offsets(self):
+        wg = Workgroups(8, 3, seed=7)
+        first = [wg.next_core(p) for p in range(8)]
+        wg.next_core(0)
+        wg.reset()
+        assert [wg.next_core(p) for p in range(8)] == first
+
+
+class TestExclusion:
+    def test_excluded_core_skipped(self):
+        wg = Workgroups(4, 2)
+        # group of partition 0 is [0, 1]; excluding 0 must pick 1
+        assert wg.next_core(0, exclude={0}) == 1
+
+    def test_exclusion_advances_pointer_past_pick(self):
+        wg = Workgroups(4, 3)  # group of 0 is [0, 1, 2]
+        assert wg.next_core(0, exclude={0}) == 1
+        assert wg.next_core(0) == 2  # pointer moved past the excluded pick
+
+    def test_whole_group_excluded_returns_none(self):
+        wg = Workgroups(4, 2)
+        assert wg.next_core(0, exclude={0, 1}) is None
+
+    def test_none_leaves_pointer_unchanged(self):
+        wg = Workgroups(4, 2)
+        assert wg.next_core(0, exclude={0, 1}) is None
+        assert wg.next_core(0) == 0

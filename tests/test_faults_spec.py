@@ -1,0 +1,105 @@
+"""Unit tests for FaultSpec / FaultPolicy validation and serialisation."""
+
+import pytest
+
+from repro.faults import FaultPolicy, FaultSpec, LinkFault, RankCrash, SlowNode
+from repro.simmpi.errors import SimConfigError
+
+
+class TestRankCrash:
+    def test_valid(self):
+        c = RankCrash(node=2, at=1.5)
+        assert c.node == 2 and c.at == 1.5
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(SimConfigError):
+            RankCrash(node=-1, at=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimConfigError):
+            RankCrash(node=0, at=-0.1)
+
+
+class TestLinkFault:
+    def test_defaults_are_clean_link(self):
+        ln = LinkFault()
+        assert ln.drop_prob == 0.0 and ln.latency_factor == 1.0
+
+    @pytest.mark.parametrize("field", ["drop_prob", "dup_prob", "delay_prob"])
+    def test_probability_bounds(self, field):
+        with pytest.raises(SimConfigError):
+            LinkFault(**{field: 1.5})
+        with pytest.raises(SimConfigError):
+            LinkFault(**{field: -0.1})
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimConfigError):
+            LinkFault(delay_seconds=-1.0)
+
+    def test_nonpositive_factors_rejected(self):
+        with pytest.raises(SimConfigError):
+            LinkFault(latency_factor=0.0)
+        with pytest.raises(SimConfigError):
+            LinkFault(bandwidth_factor=-2.0)
+
+
+class TestSlowNode:
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(SimConfigError):
+            SlowNode(node=0, factor=0.5)
+
+
+class TestFaultSpec:
+    def test_lists_coerced_to_tuples(self):
+        spec = FaultSpec(crashes=[RankCrash(node=0, at=1.0)])
+        assert isinstance(spec.crashes, tuple)
+
+    def test_duplicate_crash_node_rejected(self):
+        with pytest.raises(SimConfigError, match="more than once"):
+            FaultSpec(crashes=(RankCrash(node=1, at=1.0), RankCrash(node=1, at=2.0)))
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            crashes=(RankCrash(node=1, at=0.5),),
+            links=(LinkFault(src=0, dst=2, drop_prob=0.1, delay_prob=0.2, delay_seconds=3.0),),
+            slow_nodes=(SlowNode(node=3, factor=4.0),),
+            seed=7,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self, tmp_path):
+        spec = FaultSpec(
+            crashes=(RankCrash(node=0, at=1.0),),
+            links=(LinkFault(dup_prob=0.5),),
+            seed=3,
+        )
+        path = tmp_path / "spec.json"
+        spec.to_json(str(path))
+        assert FaultSpec.from_json(str(path)) == spec
+
+    def test_from_dict_defaults(self):
+        spec = FaultSpec.from_dict({})
+        assert spec == FaultSpec()
+
+
+class TestFaultPolicy:
+    def test_defaults_valid(self):
+        p = FaultPolicy()
+        assert p.max_attempts >= 1 and p.backoff >= 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_timeout": 0.0},
+            {"timeout_multiplier": -1.0},
+            {"min_timeout": 0.0},
+            {"backoff": 0.5},
+            {"max_attempts": 0},
+            {"suspect_after": 0},
+            {"drain_rounds": 0},
+            {"drain_timeout": -1.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(SimConfigError):
+            FaultPolicy(**kwargs)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.simmpi import DeadlockError, Simulation
+from repro.simmpi import DeadlockError, ProcError, SimError, Simulation
 from repro.simmpi.engine import ANY_SOURCE, ANY_TAG, Event, payload_nbytes
 
 
@@ -181,6 +181,59 @@ class TestMessaging:
         out, pid = run_single(p)
         assert out.results[pid] is True
 
+    def test_test_reports_false_after_cancel(self):
+        def p(ctx):
+            req = yield from ctx.post_recv(ctx.mailbox)
+            yield from ctx.cancel(req)
+            return (yield from ctx.test(req))
+
+        out, pid = run_single(p)
+        assert out.results[pid] is False
+
+    def test_wait_on_cancelled_request_raises(self):
+        def p(ctx):
+            req = yield from ctx.post_recv(ctx.mailbox)
+            yield from ctx.cancel(req)
+            yield from ctx.wait(req)
+
+        sim = Simulation()
+        sim.add_proc(p)
+        with pytest.raises(SimError, match="cancelled"):
+            sim.run()
+
+    def test_cancelled_recv_does_not_consume_message(self):
+        """A message sent after cancel must land in the queue, not the
+        withdrawn request — a later receive picks it up."""
+        sim = Simulation()
+
+        def p(ctx):
+            first = yield from ctx.post_recv(ctx.mailbox, tag=7)
+            yield from ctx.cancel(first)
+            yield from ctx.compute(1.0)  # let the message arrive meanwhile
+            second = yield from ctx.post_recv(ctx.mailbox, tag=7)
+            payload = yield from ctx.wait(second)
+            return first.payload, payload
+
+        def sender(ctx):
+            yield from ctx.compute(0.5)  # send strictly after the cancel
+            yield from ctx.send_to_mailbox(
+                sim.mailbox_of(0), "kept", source=1, tag=7, nbytes=8, same_node=True
+            )
+
+        pid = sim.add_proc(p)
+        sim.add_proc(sender)
+        out = sim.run()
+        assert out.results[pid] == (None, "kept")
+
+    def test_test_charges_poll_time(self):
+        def p(ctx):
+            req = yield from ctx.post_recv(ctx.mailbox)
+            yield from ctx.test(req)
+            yield from ctx.cancel(req)
+
+        out, pid = run_single(p)
+        assert out.stats[pid].poll_time > 0.0
+
 
 class TestSharedMailbox:
     def test_threads_pull_from_shared_queue(self):
@@ -288,6 +341,38 @@ class TestDeadlock:
         sim.add_proc(p)
         with pytest.raises(DeadlockError, match="2 proc"):
             sim.run()
+
+
+class TestProcError:
+    def test_proc_exception_carries_typed_context(self):
+        def p(ctx):
+            yield from ctx.compute(2.5)
+            raise ValueError("boom")
+
+        sim = Simulation()
+        sim.add_proc(p, node=3, name="exploder")
+        with pytest.raises(ProcError) as exc_info:
+            sim.run()
+        err = exc_info.value
+        assert err.proc_name == "exploder"
+        assert err.pid == 0
+        assert err.node == 3
+        assert err.virtual_time == pytest.approx(2.5)
+        assert "ValueError" in str(err) and "boom" in str(err)
+
+    def test_proc_error_is_a_sim_error(self):
+        assert issubclass(ProcError, SimError)
+
+    def test_original_exception_chained(self):
+        def p(ctx):
+            yield from ctx.compute(0.1)
+            raise KeyError("missing")
+
+        sim = Simulation()
+        sim.add_proc(p)
+        with pytest.raises(ProcError) as exc_info:
+            sim.run()
+        assert isinstance(exc_info.value.__cause__, KeyError)
 
 
 class TestPayloadNbytes:
