@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test lint bench bench-core examples faults-demo clean
+.PHONY: install test lint bench bench-smoke bench-paper bench-core examples faults-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,8 +11,17 @@ test:
 lint:
 	ruff check src tests benchmarks examples
 
-# full evaluation-section reproduction (all tables + figures + ablations)
+# HNSW hot-path benchmark: build + search timings, recall, and the
+# speedup vs the previous run recorded in BENCH_hnsw.json (perf trajectory)
 bench:
+	python benchmarks/bench_hnsw.py
+
+# CI-sized variant: tiny corpus, fails if recall@10 drops below the floor
+bench-smoke:
+	python benchmarks/bench_hnsw.py --tiny --min-recall 0.95 --out BENCH_hnsw_smoke.json
+
+# full evaluation-section reproduction (all tables + figures + ablations)
+bench-paper:
 	pytest benchmarks/ --benchmark-only -s
 
 # just the paper's tables/figures, skipping the ablation extras

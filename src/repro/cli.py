@@ -174,6 +174,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         hnsw=HnswParams(M=meta["M"], ef_construction=meta["ef_construction"], seed=meta["seed"]),
         n_probe=args.n_probe or meta["n_probe"],
         replication_factor=args.replication,
+        batch_size=args.batch_size,
         seed=meta["seed"],
         # fault tolerance tracks per-task deadlines at the master, which
         # needs the two-sided result path
@@ -218,7 +219,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         write_ivecs(args.out, I.astype(np.int32))
         print(f"wrote neighbor ids to {args.out}")
     print(
-        f"{rep.n_queries} queries, {rep.tasks} tasks, virtual time "
+        f"{rep.n_queries} queries, {rep.tasks} tasks in {rep.task_messages} "
+        f"messages, virtual time "
         f"{rep.total_seconds*1e3:.2f} ms ({rep.throughput:,.0f} q/s)"
     )
     if fault_spec is not None:
@@ -257,6 +259,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             modeled_search_seconds=args.task_seconds,
             n_probe=3,
             replication_factor=min(args.replication, P),
+            batch_size=args.batch_size,
             seed=args.seed,
             one_sided=fault_spec is None,
             fault_spec=fault_spec,
@@ -307,6 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--n-probe", type=int, default=None, dest="n_probe")
     q.add_argument("--faults", help="fault scenario JSON (switches to fault-tolerant dispatch)")
     q.add_argument("--replication", type=int, default=1, help="workgroup replication factor r")
+    q.add_argument(
+        "--batch-size", type=int, default=1, dest="batch_size",
+        help="queries per task message (per-partition dispatch batching)",
+    )
     q.set_defaults(func=_cmd_query)
 
     be = sub.add_parser("bench", help="strong-scaling sweep on the simulated cluster")
@@ -317,6 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--task-seconds", type=float, default=2e-3, dest="task_seconds")
     be.add_argument("--faults", help="fault scenario JSON (switches to fault-tolerant dispatch)")
     be.add_argument("--replication", type=int, default=1, help="workgroup replication factor r")
+    be.add_argument(
+        "--batch-size", type=int, default=1, dest="batch_size",
+        help="queries per task message (per-partition dispatch batching)",
+    )
     be.add_argument("--seed", type=int, default=0)
     be.set_defaults(func=_cmd_bench)
     return ap

@@ -67,6 +67,13 @@ class SystemConfig:
     ef_search: int | None = None
     routing: str = "approx"
     n_probe: int = 3
+    #: queries per task message: the master buffers per-partition dispatch
+    #: and ships B queries to a partition as one batch task, which the
+    #: worker answers with one ``knn_search_batch`` call (amortized message
+    #: headers and python dispatch).  1 = one task per (query, partition),
+    #: wire-identical to the unbatched protocol.  Batching reorders
+    #: dispatch, so >1 requires the plain master/approx path.
+    batch_size: int = 1
     replication_factor: int = 1
     one_sided: bool = True
     owner_strategy: str = "master"
@@ -113,6 +120,23 @@ class SystemConfig:
             )
         if self.n_probe < 1:
             raise SimConfigError(f"n_probe must be >= 1, got {self.n_probe}")
+        if self.batch_size < 1:
+            raise SimConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.batch_size > 1:
+            if self.routing != "approx":
+                raise SimConfigError(
+                    f"batch_size > 1 requires routing='approx', got {self.routing!r}"
+                )
+            if self.owner_strategy != "master":
+                raise SimConfigError(
+                    "batch_size > 1 requires owner_strategy='master', "
+                    f"got {self.owner_strategy!r}"
+                )
+            if self.fault_spec is not None or self.fault_policy is not None:
+                raise SimConfigError(
+                    "batch_size > 1 is incompatible with fault injection: the "
+                    "fault-tolerant dispatcher times out and retries per task"
+                )
         if self.routing == "adaptive" and self.one_sided:
             raise SimConfigError(
                 "adaptive routing needs the pilot result back at the master, "

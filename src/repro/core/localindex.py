@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.partition import Partition
+from repro.core.searcher import generic_search_batch
 from repro.metrics import Metric, get_metric
 from repro.pq.ivfpq import IVFPQIndex
 from repro.simmpi.costmodel import CostModel
@@ -54,6 +55,9 @@ class BruteForceSearcher:
             partition.ids[order],
             self.cost.distance_cost(len(pts), pts.shape[1]),
         )
+
+    def search_batch(self, partition: Partition, Q: np.ndarray, k: int):
+        return generic_search_batch(self, partition, Q, k)
 
     def build_seconds(self, partition: Partition) -> float:
         return 0.0  # nothing to build

@@ -26,6 +26,8 @@ from repro.core.messages import (
     TAG_RESULT,
     TAG_TASK,
     TAG_THREAD_DONE,
+    batch_task_nbytes,
+    make_batch_task,
     make_task,
     task_nbytes,
 )
@@ -44,6 +46,9 @@ class MasterReport:
     def __init__(self, n_cores: int) -> None:
         self.dispatch_counts = np.zeros(n_cores, dtype=np.int64)
         self.tasks_sent = 0
+        #: task *messages* sent; equals ``tasks_sent`` at batch_size 1,
+        #: shrinks toward ``tasks_sent / batch_size`` as batching kicks in
+        self.batches_sent = 0
         self.route_dist_evals = 0
         self.fanouts: list[int] = []
         #: per-query completion latency (virtual s from batch start to the
@@ -96,6 +101,7 @@ def master_program(
             core = workgroups.next_core(partition_id)
             report.dispatch_counts[core] += 1
             report.tasks_sent += 1
+            report.batches_sent += 1
             outstanding[query_id] += 1
             node = config.node_of_core(core)
             yield from ctx.send_to_mailbox(
@@ -107,12 +113,43 @@ def master_program(
                 same_node=False,
             )
 
+    def dispatch_batch(query_ids: list[int], partition_id: int, qvecs: list[np.ndarray]):
+        """Ship B buffered queries for one partition as a single task message.
+
+        One workgroup round-robin step, one message, one worker-side
+        ``knn_search_batch``.  At B = 1 the wire bytes and send order are
+        identical to :func:`dispatch`, so batching is a pure message-count
+        knob — the batched-vs-unbatched golden tests pin this.
+        """
+        with ctx.span("dispatch"):
+            core = workgroups.next_core(partition_id)
+            report.dispatch_counts[core] += len(query_ids)
+            report.tasks_sent += len(query_ids)
+            report.batches_sent += 1
+            for qid in query_ids:
+                outstanding[qid] += 1
+            node = config.node_of_core(core)
+            Qb = np.stack(qvecs)
+            yield from ctx.send_to_mailbox(
+                node_mailboxes[node],
+                make_batch_task(query_ids, partition_id, Qb),
+                source=ctx.pid,
+                tag=TAG_TASK,
+                nbytes=batch_task_nbytes(Qb),
+                same_node=False,
+            )
+
     def route_cost(parts_found_before: int):
         evals = router.n_dist_evals - parts_found_before
         report.route_dist_evals += evals
         return ctx.cost.distance_cost(evals, queries.shape[1])
 
     if config.routing == "approx":
+        # per-partition dispatch buffers: a partition's batch flushes as
+        # soon as it holds batch_size queries, and stragglers flush in
+        # partition order after the last query routes
+        batch = config.batch_size
+        buffers: dict[int, tuple[list[int], list[np.ndarray]]] = {}
         for qid in range(len(queries)):
             q = queries[qid]
             with ctx.span("route"):
@@ -121,7 +158,18 @@ def master_program(
                 yield from ctx.compute(route_cost(before), kind="route")
             report.fanouts.append(len(parts))
             for pid_part in parts:
-                yield from dispatch(qid, pid_part, q)
+                buf = buffers.get(pid_part)
+                if buf is None:
+                    buf = buffers[pid_part] = ([], [])
+                buf[0].append(qid)
+                buf[1].append(q)
+                if len(buf[0]) >= batch:
+                    del buffers[pid_part]
+                    yield from dispatch_batch(buf[0], pid_part, buf[1])
+        for pid_part in sorted(buffers):
+            qids_b, qvecs_b = buffers[pid_part]
+            yield from dispatch_batch(qids_b, pid_part, qvecs_b)
+        buffers.clear()
         expected_results = 0 if one_sided else report.tasks_sent
     else:  # adaptive, two-sided
         pending_pilot: dict[int, int] = {}
@@ -174,17 +222,26 @@ def master_program(
                 same_node=False,
             )
 
-    # collection loop (Alg. 3 lines 15-18)
+    # collection loop (Alg. 3 lines 15-18); a "bresult" message settles a
+    # whole batch of (query, partition) rows at once
     remaining = expected_results
     while remaining:
         with ctx.span("reduce"):
             req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
             payload = yield from ctx.wait(req)
-            _, qid, _pid_part, d, ids = payload
-            yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
-            results.update(qid, d, ids)
-        note_result(qid)
-        remaining -= 1
+            if payload[0] == "bresult":
+                _, qids_b, _pid_part, ds, idss = payload
+                for qid, d, ids in zip(qids_b, ds, idss):
+                    yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
+                    results.update(qid, d, ids)
+            else:
+                _, qid, _pid_part, d, ids = payload
+                qids_b = [qid]
+                yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
+                results.update(qid, d, ids)
+        for qid in qids_b:
+            note_result(qid)
+        remaining -= len(qids_b)
 
     # thread completion notifications: in one-sided mode this is what tells
     # the master every Get_accumulate has landed; in two-sided mode it
@@ -271,6 +328,7 @@ def fault_tolerant_master_program(
     def send_task(query_id: int, partition_id: int, core: int):
         report.dispatch_counts[core] += 1
         report.tasks_sent += 1
+        report.batches_sent += 1
         node = config.node_of_core(core)
         yield from ctx.send_to_mailbox(
             node_mailboxes[node],

@@ -17,6 +17,10 @@ __all__ = [
     "task_nbytes",
     "make_result",
     "result_nbytes",
+    "make_batch_task",
+    "batch_task_nbytes",
+    "make_batch_result",
+    "batch_result_nbytes",
 ]
 
 #: master/owner -> worker node: one (query, partition) unit of work
@@ -51,3 +55,34 @@ def make_result(query_id: int, partition_id: int, dists: np.ndarray, ids: np.nda
 def result_nbytes(dists: np.ndarray, ids: np.ndarray) -> int:
     # distances + ids + query/partition ids + header
     return int(dists.nbytes + ids.nbytes) + 24
+
+
+def make_batch_task(query_ids: list[int], partition_id: int, Q: np.ndarray) -> tuple:
+    """B queries bound for the same partition, shipped as one message.
+
+    The batch shares one header and one partition id, so its wire size for
+    B = 1 is exactly :func:`task_nbytes` — a batch of one is
+    indistinguishable from a plain task on the simulated fabric.
+    """
+    return ("btask", [int(q) for q in query_ids], int(partition_id), Q)
+
+
+def batch_task_nbytes(Q: np.ndarray) -> int:
+    # query matrix + one id per row + partition id + header
+    return int(Q.nbytes) + 8 * int(Q.shape[0]) + 16
+
+
+def make_batch_result(
+    query_ids: list[int],
+    partition_id: int,
+    dists: list[np.ndarray],
+    ids: list[np.ndarray],
+) -> tuple:
+    """A worker's local k-NN answers for one batch task (row-aligned lists)."""
+    return ("bresult", [int(q) for q in query_ids], int(partition_id), dists, ids)
+
+
+def batch_result_nbytes(dists: list[np.ndarray], ids: list[np.ndarray]) -> int:
+    # per-row distances + ids + one query id per row + partition id + header
+    payload = sum(int(d.nbytes + i.nbytes) for d, i in zip(dists, ids))
+    return payload + 8 * len(dists) + 16

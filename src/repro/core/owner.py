@@ -62,6 +62,7 @@ def owner_node_program(
                 core = workgroups.next_core(pid_part)
                 report.dispatch_counts[core] += 1
                 report.tasks_sent += 1
+                report.batches_sent += 1
                 node = config.node_of_core(core)
                 yield from ctx.send_to_mailbox(
                     node_mailboxes[node],

@@ -23,7 +23,7 @@ from repro.core.partition import Partition
 from repro.metrics import get_metric
 from repro.simmpi.costmodel import CostModel
 
-__all__ = ["LocalSearcher", "RealHnswSearcher", "ModeledSearcher"]
+__all__ = ["LocalSearcher", "RealHnswSearcher", "ModeledSearcher", "generic_search_batch"]
 
 
 class LocalSearcher(Protocol):
@@ -38,6 +38,27 @@ class LocalSearcher(Protocol):
     def build_seconds(self, partition: Partition) -> float:
         """Virtual cost of having built this partition's local index."""
         ...
+
+
+def generic_search_batch(
+    searcher: "LocalSearcher", partition: Partition, Q: np.ndarray, k: int
+) -> tuple[list[np.ndarray], list[np.ndarray], float]:
+    """Row-by-row batch fallback for searchers without a native batch path.
+
+    Returns row-aligned result lists plus the summed virtual seconds; each
+    row is exactly what ``searcher.search`` returns for that query, so
+    batching never changes results or virtual cost — only how many python
+    calls and simulated messages carry them.
+    """
+    ds: list[np.ndarray] = []
+    idss: list[np.ndarray] = []
+    seconds = 0.0
+    for q in Q:
+        d, ids, s = searcher.search(partition, q, k)
+        ds.append(d)
+        idss.append(ids)
+        seconds += s
+    return ds, idss, seconds
 
 
 class RealHnswSearcher:
@@ -60,6 +81,34 @@ class RealHnswSearcher:
         d, ids = index.knn_search(query, k, ef=self.ef_search)
         evals = index.n_dist_evals - before
         return d, ids, self.cost.distance_cost(evals, index.dim)
+
+    def search_batch(
+        self, partition: Partition, Q: np.ndarray, k: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray], float]:
+        """Batch of queries against one partition via ``knn_search_batch``.
+
+        Row ``i`` of the returned lists is bit-identical to
+        ``self.search(partition, Q[i], k)`` (the index's batch method runs
+        the same per-row traversal), and the summed eval charge equals the
+        sum of the per-row charges — batching amortizes python dispatch
+        only, never changes answers or virtual time.
+        """
+        index = partition.index
+        if index is None:
+            raise ValueError(
+                f"partition {partition.partition_id} has no HNSW index; "
+                "was the system built with searcher='modeled'?"
+            )
+        before = index.n_dist_evals
+        D, I = index.knn_search_batch(Q, k, ef=self.ef_search)
+        evals = index.n_dist_evals - before
+        ds: list[np.ndarray] = []
+        idss: list[np.ndarray] = []
+        for i in range(len(Q)):
+            valid = I[i] != -1  # strip the inf/-1 padding of short rows
+            ds.append(D[i][valid])
+            idss.append(I[i][valid])
+        return ds, idss, self.cost.distance_cost(evals, index.dim)
 
     def build_seconds(self, partition: Partition) -> float:
         index = partition.index
@@ -117,6 +166,13 @@ class ModeledSearcher:
         d = self.metric.one_to_many(query, pts)
         order = np.lexsort((ids, d))[:k]
         return d[order], ids[order], seconds
+
+    def search_batch(
+        self, partition: Partition, Q: np.ndarray, k: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray], float]:
+        # dispatches through self.search, so GpuModeledSearcher's per-query
+        # launch overhead is charged per batched row too
+        return generic_search_batch(self, partition, Q, k)
 
     def build_seconds(self, partition: Partition) -> float:
         return self.cost.hnsw_build_cost(

@@ -20,11 +20,13 @@ from __future__ import annotations
 from repro.core.messages import (
     TAG_RESULT,
     TAG_THREAD_DONE,
+    batch_result_nbytes,
+    make_batch_result,
     make_result,
     result_nbytes,
 )
 from repro.core.partition import NodeStore
-from repro.core.searcher import LocalSearcher
+from repro.core.searcher import LocalSearcher, generic_search_batch
 from repro.simmpi.engine import ANY_SOURCE, ANY_TAG, Context, Event, Mailbox
 from repro.simmpi.rma import Window
 
@@ -58,6 +60,39 @@ def worker_thread_program(
             if kind == "end":
                 yield from ctx.set_event(done_event)
                 break
+            if kind == "btask":
+                # ("btask", qids, pid, Q): B queries for one partition,
+                # answered with one local batch search (see master dispatch)
+                _, query_ids, partition_id, Qb = payload[:4]
+                with ctx.span("search"):
+                    partition = node_store.get(partition_id)
+                    search_batch = getattr(searcher, "search_batch", None)
+                    if search_batch is not None:
+                        ds, idss, seconds = search_batch(partition, Qb, k)
+                    else:
+                        ds, idss, seconds = generic_search_batch(
+                            searcher, partition, Qb, k
+                        )
+                    yield from ctx.compute(seconds, kind="search")
+                processed += len(query_ids)
+                with ctx.span("reduce"):
+                    if one_sided:
+                        # the RMA window is keyed by query id: one
+                        # accumulate per row, same bytes as unbatched
+                        for qid, d, ids in zip(query_ids, ds, idss):
+                            yield from window.get_accumulate(
+                                ctx, qid, (d, ids), nbytes=result_nbytes(d, ids)
+                            )
+                    else:
+                        yield from ctx.send_to_mailbox(
+                            master_mailbox,
+                            make_batch_result(query_ids, partition_id, ds, idss),
+                            source=ctx.pid,
+                            tag=reply_tag,
+                            nbytes=batch_result_nbytes(ds, idss),
+                            same_node=False,
+                        )
+                continue
             # tasks are ("task", qid, pid, qvec) from the master, or the
             # 5-tuple variant carrying an explicit reply mailbox from a
             # multiple-owner dispatcher

@@ -1,0 +1,226 @@
+/* Compiled hot path for the HNSW beam search (SEARCH-LAYER, paper Alg. 2).
+ *
+ * The python implementation pays ~6-8 interpreter/numpy dispatches per
+ * expanded node; this helper runs the whole beam-search loop in C using
+ * the index's flat buffers directly (point matrix, adjacency rows, link
+ * counts, epoch-stamped visited array) and two array-backed binary heaps.
+ *
+ * Bit-identity contract
+ * ---------------------
+ * Results must match the python path bit for bit, which means distances
+ * must match numpy's float32 ``einsum("ij,ij->i", diff, diff)`` (plus
+ * float32 sqrt for l2) exactly.  einsum's float32 reduction is NOT plain
+ * sequential addition: on the build this repo targets it is a fixed
+ * 4-lane SIMD reduction tree.  ``l2sq32`` below reproduces the exact
+ * rounding sequence for dim == 32 (reverse-engineered empirically and
+ * pinned by ``selfcheck``); the python side enables this helper only
+ * after verifying bit-equality against einsum on random data at index
+ * construction, so on any platform where the tree differs the helper is
+ * simply not used.  Compile with -ffp-contract=off: a fused
+ * multiply-add would change the rounding and fail the self-check.
+ *
+ * Heap note: all (distance, id) pairs are distinct (a node is visited at
+ * most once per call), so the pop order of any correct binary heap is
+ * the total order on (d, id) — the heap layout itself need not match
+ * python's heapq.
+ */
+
+#include <math.h>
+#include <stdint.h>
+
+typedef int64_t i64;
+
+/* float32 squared euclidean distance, dim 32, einsum-compatible rounding:
+ * per lane l: y = s[l] + (s[4+l] + (s[8+l] + s[12+l]))
+ *             R = s[16+l] + (s[20+l] + (s[24+l] + (s[28+l] + y)))
+ * total: (R0 + R1) + (R2 + R3)
+ */
+static inline float l2sq32(const float *restrict a, const float *restrict b)
+{
+    float s[32];
+    for (int k = 0; k < 32; k++) {
+        float d = a[k] - b[k];
+        s[k] = d * d;
+    }
+    float R[4];
+    for (int l = 0; l < 4; l++) {
+        float y = s[l] + (s[4 + l] + (s[8 + l] + s[12 + l]));
+        R[l] = s[16 + l] + (s[20 + l] + (s[24 + l] + (s[28 + l] + y)));
+    }
+    return (R[0] + R[1]) + (R[2] + R[3]);
+}
+
+/* candidates: min-heap on (d, id); results: max-heap on (d, id) with the
+ * tie rule of python's (-d, id) min-heap (equal d -> smaller id on top). */
+
+static inline int pair_lt(double d1, int32_t i1, double d2, int32_t i2)
+{
+    return d1 < d2 || (d1 == d2 && i1 < i2);
+}
+
+static inline int pair_gt(double d1, int32_t i1, double d2, int32_t i2)
+{
+    return d1 > d2 || (d1 == d2 && i1 < i2);
+}
+
+static void minh_push(double *hd, int32_t *hi, i64 *n, double d, int32_t id)
+{
+    i64 i = (*n)++;
+    while (i > 0) {
+        i64 p = (i - 1) >> 1;
+        if (pair_lt(d, id, hd[p], hi[p])) {
+            hd[i] = hd[p];
+            hi[i] = hi[p];
+            i = p;
+        } else {
+            break;
+        }
+    }
+    hd[i] = d;
+    hi[i] = id;
+}
+
+static void minh_pop(double *hd, int32_t *hi, i64 *n)
+{
+    i64 m = --(*n);
+    double d = hd[m];
+    int32_t id = hi[m];
+    i64 i = 0;
+    for (;;) {
+        i64 c = 2 * i + 1;
+        if (c >= m)
+            break;
+        if (c + 1 < m && pair_lt(hd[c + 1], hi[c + 1], hd[c], hi[c]))
+            c++;
+        if (pair_lt(hd[c], hi[c], d, id)) {
+            hd[i] = hd[c];
+            hi[i] = hi[c];
+            i = c;
+        } else {
+            break;
+        }
+    }
+    if (m > 0) {
+        hd[i] = d;
+        hi[i] = id;
+    }
+}
+
+static void maxh_push(double *hd, int32_t *hi, i64 *n, double d, int32_t id)
+{
+    i64 i = (*n)++;
+    while (i > 0) {
+        i64 p = (i - 1) >> 1;
+        if (pair_gt(d, id, hd[p], hi[p])) {
+            hd[i] = hd[p];
+            hi[i] = hi[p];
+            i = p;
+        } else {
+            break;
+        }
+    }
+    hd[i] = d;
+    hi[i] = id;
+}
+
+static void maxh_sift_down(double *hd, int32_t *hi, i64 m, double d, int32_t id)
+{
+    i64 i = 0;
+    for (;;) {
+        i64 c = 2 * i + 1;
+        if (c >= m)
+            break;
+        if (c + 1 < m && pair_gt(hd[c + 1], hi[c + 1], hd[c], hi[c]))
+            c++;
+        if (pair_gt(hd[c], hi[c], d, id)) {
+            hd[i] = hd[c];
+            hi[i] = hi[c];
+            i = c;
+        } else {
+            break;
+        }
+    }
+    hd[i] = d;
+    hi[i] = id;
+}
+
+/* Beam search of width ef on one layer.  Writes the result set, sorted
+ * ascending by (d, id), into (rd, ri) and returns its length.  cd/ci and
+ * rd/ri are caller-provided scratch with room for every push (bounded by
+ * n_points + n_in).  *evals_out receives the distance-evaluation count. */
+i64 hnsw_search_layer(const float *X, i64 dim, const int32_t *nbrs,
+                      i64 row_stride, const int32_t *cnts, i64 *stamp,
+                      i64 epoch, const float *q, const double *in_d,
+                      const int32_t *in_i, i64 n_in, i64 ef, int32_t do_sqrt,
+                      double *cd, int32_t *ci, double *rd, int32_t *ri,
+                      i64 *evals_out)
+{
+    (void)dim; /* l2sq32 is dim-32 only; the python side gates on this */
+    i64 nc = 0, nr = 0, evals = 0;
+    for (i64 t = 0; t < n_in; t++) {
+        stamp[in_i[t]] = epoch;
+        minh_push(cd, ci, &nc, in_d[t], in_i[t]);
+        maxh_push(rd, ri, &nr, in_d[t], in_i[t]);
+    }
+    while (nc) {
+        double c_dist = cd[0];
+        int32_t c = ci[0];
+        if (nr >= ef && c_dist > rd[0])
+            break;
+        minh_pop(cd, ci, &nc);
+        const int32_t *row = nbrs + (i64)c * row_stride;
+        i64 cnt = cnts[c];
+        for (i64 j = 0; j < cnt; j++) {
+            int32_t nb = row[j];
+            if (stamp[nb] == epoch)
+                continue;
+            stamp[nb] = epoch;
+            float d32 = l2sq32(X + (i64)nb * 32, q);
+            if (do_sqrt)
+                d32 = sqrtf(d32);
+            evals++;
+            double d = (double)d32;
+            if (nr < ef) {
+                minh_push(cd, ci, &nc, d, nb);
+                maxh_push(rd, ri, &nr, d, nb);
+            } else if (d < rd[0]) {
+                minh_push(cd, ci, &nc, d, nb);
+                maxh_sift_down(rd, ri, nr, d, nb);
+            }
+        }
+    }
+    /* heapsort: repeatedly pop the max into the freed tail slot */
+    for (i64 m = nr; m > 1;) {
+        double d = rd[0];
+        int32_t id = ri[0];
+        m--;
+        maxh_sift_down(rd, ri, m, rd[m], ri[m]);
+        rd[m] = d;
+        ri[m] = id;
+    }
+    /* the max-heap tie rule (smaller id = "greater") leaves runs of equal
+     * d in descending id; python's sorted() wants ascending -> reverse */
+    for (i64 i = 0; i < nr;) {
+        i64 j = i + 1;
+        while (j < nr && rd[j] == rd[i])
+            j++;
+        for (i64 a = i, b = j - 1; a < b; a++, b--) {
+            int32_t t = ri[a];
+            ri[a] = ri[b];
+            ri[b] = t;
+        }
+        i = j;
+    }
+    *evals_out = evals;
+    return nr;
+}
+
+/* self-check helper: batch dim-32 distances for bit-comparison vs numpy */
+void l2sq32_batch(const float *A, const float *B, i64 n, int32_t do_sqrt,
+                  float *out)
+{
+    for (i64 i = 0; i < n; i++) {
+        float v = l2sq32(A + i * 32, B + i * 32);
+        out[i] = do_sqrt ? sqrtf(v) : v;
+    }
+}

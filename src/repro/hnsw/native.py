@@ -1,0 +1,139 @@
+"""ctypes loader for the compiled SEARCH-LAYER hot path (``_hotpath.c``).
+
+The helper is an *optional* accelerator with a strict bit-identity
+contract: it is enabled only when
+
+- a C compiler is available and the shared object builds (compiled once
+  per source hash into a per-user temp dir, reused across processes),
+- the metric is cdist-backed l2/sqeuclidean and the dimensionality is
+  one the C distance kernel reproduces exactly (currently 32, the
+  paper's descriptor width), and
+- a runtime self-check confirms the C kernel matches numpy's float32
+  einsum/sqrt bit for bit on this machine.
+
+On any failure the index silently stays on the pure-python traversal,
+which is always correct — the helper changes wall-clock time only,
+never results or ``n_dist_evals``.  Set ``REPRO_HNSW_NO_NATIVE=1`` to
+force the python path (the equivalence tests use this to cover both).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["native_search_layer_for"]
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_hotpath.c")
+
+#: dims the C distance kernel replicates einsum's reduction tree for
+_NATIVE_DIMS = (32,)
+
+_lib = None
+_lib_state = "unloaded"  # unloaded -> ready | failed (sticky per process)
+_checked: dict[int, bool] = {}
+
+
+def _load():
+    global _lib, _lib_state
+    if _lib_state != "unloaded":
+        return _lib
+    _lib_state = "failed"
+    if os.environ.get("REPRO_HNSW_NO_NATIVE"):
+        return None
+    if not os.path.exists(_SRC):
+        return None
+    cc = os.environ.get("CC") or shutil.which("gcc") or shutil.which("cc")
+    if cc is None:
+        return None
+    with open(_SRC, "rb") as fh:
+        src = fh.read()
+    tag = hashlib.sha256(src).hexdigest()[:16]
+    cache = os.path.join(tempfile.gettempdir(), f"repro-hnsw-{os.getuid()}")
+    so = os.path.join(cache, f"_hotpath-{tag}.so")
+    if not os.path.exists(so):
+        tmp = f"{so}.{os.getpid()}.tmp"
+        try:
+            os.makedirs(cache, exist_ok=True)
+            # -ffp-contract=off: a fused multiply-add would change float32
+            # rounding and break bit-identity with the numpy kernels
+            subprocess.run(
+                [cc, "-O2", "-ffp-contract=off", "-shared", "-fPIC", _SRC, "-o", tmp, "-lm"],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp, so)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(so)
+    except OSError:
+        return None
+    p = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    i32 = ctypes.c_int32
+    lib.hnsw_search_layer.restype = i64
+    lib.hnsw_search_layer.argtypes = [
+        p,  # X
+        i64,  # dim
+        p,  # nbrs
+        i64,  # row_stride
+        p,  # cnts
+        p,  # stamp
+        i64,  # epoch
+        p,  # q
+        p,  # in_d
+        p,  # in_i
+        i64,  # n_in
+        i64,  # ef
+        i32,  # do_sqrt
+        p,  # cd
+        p,  # ci
+        p,  # rd
+        p,  # ri
+        p,  # evals_out
+    ]
+    lib.l2sq32_batch.restype = None
+    lib.l2sq32_batch.argtypes = [p, p, i64, i32, p]
+    _lib = lib
+    _lib_state = "ready"
+    return lib
+
+
+def _selfcheck(lib, do_sqrt: int) -> bool:
+    """Compare the C distance kernel against numpy, bit for bit."""
+    hit = _checked.get(do_sqrt)
+    if hit is not None:
+        return hit
+    rng = np.random.default_rng(0xC0FFEE)
+    n = 512
+    A = rng.normal(0, 10, size=(n, 32)).astype(np.float32)
+    B = rng.normal(0, 10, size=(n, 32)).astype(np.float32)
+    diff = A - B
+    ref = np.einsum("ij,ij->i", diff, diff)
+    if do_sqrt:
+        ref = np.sqrt(ref)
+    out = np.empty(n, dtype=np.float32)
+    lib.l2sq32_batch(A.ctypes.data, B.ctypes.data, n, do_sqrt, out.ctypes.data)
+    ok = bool(np.array_equal(ref.view(np.int32), out.view(np.int32)))
+    _checked[do_sqrt] = ok
+    return ok
+
+
+def native_search_layer_for(metric_name: str, dim: int):
+    """The compiled library if it can serve (metric, dim) bit-exactly, else None."""
+    if dim not in _NATIVE_DIMS or metric_name not in ("l2", "sqeuclidean"):
+        return None
+    lib = _load()
+    if lib is None:
+        return None
+    if not _selfcheck(lib, 1 if metric_name == "l2" else 0):
+        return None
+    return lib

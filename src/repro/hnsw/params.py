@@ -36,6 +36,9 @@ class HnswParams:
     flat: bool = False
     #: RNG seed for level sampling
     seed: int = 0
+    #: max links on layer 0; None = the standard 2*M (normalized to an
+    #: explicit int in ``__post_init__`` so it serializes round-trip)
+    M0: int | None = None
 
     def __post_init__(self) -> None:
         if self.M < 2:
@@ -44,11 +47,10 @@ class HnswParams:
             raise ValueError(f"ef_construction must be >= 1, got {self.ef_construction}")
         if self.ef_search < 1:
             raise ValueError(f"ef_search must be >= 1, got {self.ef_search}")
-
-    @property
-    def M0(self) -> int:
-        """Max links on layer 0 (the standard 2*M)."""
-        return 2 * self.M
+        if self.M0 is None:
+            object.__setattr__(self, "M0", 2 * self.M)
+        elif self.M0 < 2:
+            raise ValueError(f"M0 must be >= 2, got {self.M0}")
 
     @property
     def level_mult(self) -> float:

@@ -10,18 +10,27 @@ Two strategies from the HNSW paper:
   collapses on datasets with strong cluster structure (exactly the
   descriptor corpora used here).
 
-The heuristic takes a precomputed candidate-to-candidate distance matrix
-rather than a distance callback: selection runs ~50k times per build, and
-one vectorized pairwise evaluation per call is an order of magnitude faster
-than the per-comparison kernel calls it replaces (profiling-driven; see the
-build benchmarks).
+Selection runs ~30 times per insert (every link-overflow ``_shrink``
+re-selects), so the loop shape matters.  The paper's formulation tracks,
+for every remaining candidate, its distance to the nearest kept neighbor;
+here the test is flipped into an early-exit scan — candidate ``i`` is kept
+iff no already-kept row ``r`` has ``r[i] <= dist(q, i)`` — which examines
+exactly the comparisons the min-tracking version's decisions depend on and
+not one more.  The scan runs on plain Python floats (one ``tolist`` per
+*kept* row), and the pairwise matrix is consumed row-by-row, which is what
+lets callers hand in lazily-computed rows (``select_heuristic_rows``)
+instead of materializing the full n² matrix for n candidates when only a
+handful are ever kept.  Decision-identical to Algorithm 4 by construction;
+the flat-vs-reference equivalence tests pin it bit for bit.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-__all__ = ["select_simple", "select_heuristic"]
+__all__ = ["select_simple", "select_heuristic", "select_heuristic_rows"]
 
 
 def select_simple(
@@ -31,39 +40,60 @@ def select_simple(
     return sorted(candidates)[:m]
 
 
+def select_heuristic_rows(
+    candidates: list[tuple[float, int]],
+    m: int,
+    row_for: Callable[[int], list[float]],
+    keep_pruned: bool = True,
+) -> list[tuple[float, int]]:
+    """Diversity-aware selection (HNSW paper, Algorithm 4).
+
+    ``candidates`` must be sorted ascending by distance-to-query.
+    ``row_for(i)`` returns candidate ``i``'s distances to all candidates
+    (same order), and is only called for candidates that are *kept* — the
+    row is what later candidates are tested against.  A candidate is kept
+    iff it is closer to the query than to every already-kept candidate; if
+    ``keep_pruned``, discarded candidates backfill the result up to ``m``.
+    """
+    result: list[tuple[float, int]] = []
+    discarded: list[tuple[float, int]] = []
+    kept_rows: list[list[float]] = []
+    add_result = result.append
+    add_discarded = discarded.append
+    add_row = kept_rows.append
+    kept = 0
+    for i, pair in enumerate(candidates):
+        if kept >= m:
+            break
+        di = pair[0]
+        for row in kept_rows:
+            if row[i] <= di:
+                add_discarded(pair)
+                break
+        else:
+            add_result(pair)
+            add_row(row_for(i))
+            kept += 1
+    if keep_pruned and len(result) < m and discarded:
+        result.extend(discarded[: m - len(result)])
+        result.sort()
+    return result
+
+
 def select_heuristic(
     candidates: list[tuple[float, int]],
     m: int,
     cross: np.ndarray,
     keep_pruned: bool = True,
 ) -> list[tuple[float, int]]:
-    """Diversity-aware selection (HNSW paper, Algorithm 4).
+    """:func:`select_heuristic_rows` over a precomputed distance matrix.
 
-    ``candidates`` must be sorted ascending by distance-to-query.
     ``cross[i, j]`` is the distance between candidates ``i`` and ``j`` (in
-    the same order as ``candidates``).  A candidate is kept iff it is closer
-    to the query than to every already-kept candidate; if ``keep_pruned``,
-    discarded candidates backfill the result up to ``m``.
+    the same order as ``candidates``).
     """
     n = len(candidates)
     if cross.shape != (n, n):
         raise ValueError(f"cross matrix shape {cross.shape} does not match {n} candidates")
-    # min_to_kept[i] = min distance from candidate i to any kept candidate;
-    # maintained incrementally with one vectorized np.minimum per kept
-    # neighbor instead of a reduction per candidate (hot path: this function
-    # runs once per link overflow, ~n_points * M times per build).
-    min_to_kept = np.full(n, np.inf)
-    result: list[tuple[float, int]] = []
-    discarded: list[tuple[float, int]] = []
-    for i, (dist_q, cand) in enumerate(candidates):
-        if len(result) >= m:
-            break
-        if not result or dist_q < min_to_kept[i]:
-            result.append((dist_q, cand))
-            np.minimum(min_to_kept, cross[i], out=min_to_kept)
-        else:
-            discarded.append((dist_q, cand))
-    if keep_pruned and len(result) < m and discarded:
-        result.extend(discarded[: m - len(result)])
-        result.sort()
-    return result
+    return select_heuristic_rows(
+        candidates, m, lambda i: cross[i].tolist(), keep_pruned=keep_pruned
+    )

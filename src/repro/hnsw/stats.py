@@ -2,6 +2,8 @@
 
 Used by tests (connectivity and degree invariants) and by the ablation
 benches (how M changes the graph, which explains the Fig. 6 trade-off).
+Operates on the flat adjacency arrays of :class:`~repro.hnsw.index.HnswIndex`
+(``_nbrs``/``_cnts``; see that module's docstring for the layout).
 """
 
 from __future__ import annotations
@@ -19,17 +21,20 @@ def graph_stats(index: HnswIndex) -> dict:
     """Per-layer summary: node counts, mean/max out-degree, link symmetry."""
     layers = []
     for lv in range(index.max_level + 1):
-        layer = index._links[lv]
-        degrees = np.array([len(v) for v in layer.values()], dtype=np.int64)
+        nodes = index.nodes_at_level(lv)
+        degrees = index._cnts[lv][nodes]
+        adjacency = {
+            int(node): index.neighbors(int(node), lv) for node in nodes
+        }
         asym = 0
-        for node, nbrs in layer.items():
+        for node, nbrs in adjacency.items():
             for nb in nbrs:
-                if node not in layer.get(nb, ()):
+                if node not in adjacency.get(nb, ()):
                     asym += 1
         layers.append(
             {
                 "level": lv,
-                "n_nodes": len(layer),
+                "n_nodes": int(len(nodes)),
                 "mean_degree": float(degrees.mean()) if len(degrees) else 0.0,
                 "max_degree": int(degrees.max()) if len(degrees) else 0,
                 "asymmetric_links": asym,
@@ -51,18 +56,22 @@ def layer_connectivity(index: HnswIndex, level: int = 0) -> float:
     """
     if len(index) == 0:
         return 1.0
-    layer = index._links[level]
-    if not layer:
+    nodes = index.nodes_at_level(level)
+    if not len(nodes):
         return 0.0
     start = index.entry_point
-    if start not in layer:
-        start = next(iter(layer))
-    seen = {start}
+    if index.node_level(start) < level:
+        start = int(nodes[0])
+    nbrs, cnts = index._nbrs[level], index._cnts[level]
+    seen = np.zeros(len(index), dtype=bool)
+    seen[start] = True
+    n_seen = 1
     dq = deque([start])
     while dq:
         u = dq.popleft()
-        for v in layer.get(u, ()):
-            if v not in seen:
-                seen.add(v)
+        for v in nbrs[u, : cnts[u]].tolist():
+            if not seen[v]:
+                seen[v] = True
+                n_seen += 1
                 dq.append(v)
-    return len(seen) / len(layer)
+    return n_seen / len(nodes)

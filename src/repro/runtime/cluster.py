@@ -14,6 +14,13 @@ hand-rolled copies used to duplicate:
 - running the simulation and reducing it to ``(D, I, SearchReport)`` via
   the shared :class:`~repro.runtime.report.ReportBuilder`.
 
+Query batching (``config.batch_size``) needs no runtime wiring: the master
+buffers per-partition dispatch into batch tasks and the workers answer
+them with one local ``knn_search_batch`` per message, so at batch size B
+the fabric carries ~B× fewer task/result messages while every row's
+results and virtual search cost stay identical to the unbatched run (at
+B = 1 the wire traffic is byte-identical).
+
 A runtime instance is single-shot, like the Simulation it owns: construct,
 ``run_search`` once, read the report.
 """

@@ -30,6 +30,9 @@ class SearchReport:
     n_queries: int
     #: tasks dispatched (sum over queries of partition fan-out)
     tasks: int
+    #: task *messages* sent; equals ``tasks`` at batch_size 1 and shrinks
+    #: toward ``tasks / batch_size`` as dispatch batching kicks in
+    task_messages: int = 0
     #: per-core dispatch counts (Fig. 4b's distribution)
     dispatch_counts: np.ndarray | None = None
     #: mean partitions visited per query
@@ -145,6 +148,7 @@ class ReportBuilder:
             )
 
         tasks = sum(r.tasks_sent for r in creports)
+        task_messages = sum(r.batches_sent for r in creports)
         counts = np.sum([r.dispatch_counts for r in creports], axis=0)
         fanouts = [f for r in creports for f in r.fanouts]
         # per-query latency is only observable when a single coordinator saw
@@ -159,6 +163,7 @@ class ReportBuilder:
             total_seconds=out.makespan,
             n_queries=self.n_queries,
             tasks=int(tasks),
+            task_messages=int(task_messages),
             dispatch_counts=counts,
             mean_fanout=float(np.mean(fanouts)) if fanouts else 0.0,
             worker_breakdown=aggregate_stats(worker_stats),

@@ -5,6 +5,12 @@ candidates so far".  Python's :mod:`heapq` is a min-heap of tuples; here we
 wrap it in small classes with an explicit bound so call sites read like the
 pseudocode in the paper, and add :func:`merge_knn`, the reduction the master
 process applies when combining local k-NN results from several partitions.
+
+Note: the flattened HNSW hot path (`repro.hnsw.index` and its compiled
+search layer in ``_hotpath.c``) bypasses these wrappers for speed, using
+raw :mod:`heapq` — and, natively, hand-rolled C heaps — over the same
+``(dist, id)`` tuples with the same lexicographic ordering and tie-breaks,
+so pop order is identical either way (see docs/performance.md).
 """
 
 from __future__ import annotations

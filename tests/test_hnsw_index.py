@@ -79,8 +79,8 @@ class TestConstruction:
         idx, *_ = built_index
         for lv in range(idx.max_level + 1):
             limit = idx.params.M0 if lv == 0 else idx.params.M
-            for node in idx._links[lv]:
-                assert len(idx.neighbors(node, lv)) <= limit
+            for node in idx.nodes_at_level(lv):
+                assert len(idx.neighbors(int(node), lv)) <= limit
 
     def test_layer_sizes_decrease_geometrically(self, built_index):
         idx, *_ = built_index
@@ -92,7 +92,7 @@ class TestConstruction:
 
     def test_entry_point_on_top_layer(self, built_index):
         idx, *_ = built_index
-        assert idx.entry_point in idx._links[idx.max_level]
+        assert idx.node_level(idx.entry_point) == idx.max_level
 
     def test_layer0_fully_connected_component(self, built_index):
         idx, *_ = built_index
@@ -102,8 +102,9 @@ class TestConstruction:
         """A node present at layer L must be present at every layer below."""
         idx, *_ = built_index
         for lv in range(1, idx.max_level + 1):
-            for node in idx._links[lv]:
-                assert node in idx._links[lv - 1]
+            below = set(idx.nodes_at_level(lv - 1).tolist())
+            for node in idx.nodes_at_level(lv).tolist():
+                assert node in below
 
 
 class TestSearch:
