@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test lint bench bench-smoke bench-paper bench-core examples faults-demo clean
+.PHONY: install test lint bench bench-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke examples faults-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,17 @@ bench:
 # CI-sized variant: tiny corpus, fails if recall@10 drops below the floor
 bench-smoke:
 	python benchmarks/bench_hnsw.py --tiny --min-recall 0.95 --out BENCH_hnsw_smoke.json
+
+# replica-selector sweep under a Zipf-skewed workload; fails if the
+# least_loaded makespan improvement at the headline replication factor
+# drops below 1.5x (trajectory recorded in BENCH_loadbalance.json)
+bench-loadbalance:
+	python benchmarks/bench_loadbalance.py
+
+# CI-sized variant plus the public-API snapshot test
+loadbalance-smoke:
+	python benchmarks/bench_loadbalance.py --smoke --out BENCH_loadbalance_smoke.json
+	pytest tests/test_public_api.py -q
 
 # full evaluation-section reproduction (all tables + figures + ablations)
 bench-paper:

@@ -1,0 +1,327 @@
+"""Load-balancing benchmark: replica selectors under a Zipf-skewed workload.
+
+The scenario the paper's §IV replication argument is about: partition
+popularity follows a heavy-tailed 1/rank^s law (the hot-region workload),
+every partition is replicated on r consecutive cores, and the only thing
+that changes between runs is the dispatch policy (``SystemConfig.
+replica_selector``).  Virtual makespans are exactly reproducible, so the
+numbers below are properties of the policies, not measurement noise.
+
+For each replication factor the harness runs every selector on the same
+fitted system and query batch and records:
+
+- the simulated makespan (``SearchReport.total_seconds``),
+- the imbalance factor (max/mean observed per-core busy time),
+- a SHA-256 checksum of (D, I) — selectors move tasks between replicas
+  of the *same* partition, so results must be bit-identical across all
+  of them (and across repeat runs of ``primary``, the golden contract).
+
+The headline number is the makespan improvement of ``least_loaded`` over
+``primary`` at the headline replication factor; the acceptance floor is
+1.5x (``--min-improvement``).  Writes ``BENCH_loadbalance.json`` at the
+repo root with the same previous/history trajectory folding as
+``bench_hnsw.py``.
+
+Run via ``make bench-loadbalance`` (full) or ``--smoke`` (CI size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+import numpy as np
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+from repro.core import DistributedANN, SystemConfig  # noqa: E402
+from repro.datasets import zipf_queries  # noqa: E402
+from repro.hnsw import HnswParams  # noqa: E402
+from repro.loadbalance import SELECTORS  # noqa: E402
+
+#: keys every BENCH_loadbalance.json must provide (CI's loadbalance-smoke checks these)
+REQUIRED_KEYS = (
+    "schema",
+    "config",
+    "runs",
+    "headline.replication",
+    "headline.primary_makespan",
+    "headline.least_loaded_makespan",
+    "headline.improvement",
+    "primary_deterministic",
+    "results_identical_across_selectors",
+)
+
+
+def results_checksum(D: np.ndarray, ids: np.ndarray) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(D, dtype=np.float64).tobytes())
+    h.update(np.ascontiguousarray(ids, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def make_corpus(n: int, dim: int, n_parts: int, seed: int) -> np.ndarray:
+    """Clustered corpus with ~n_parts natural clusters (routing targets)."""
+    rng = np.random.default_rng([seed, 0x10AD])
+    centers = rng.normal(0.0, 8.0, size=(n_parts, dim)).astype(np.float32)
+    assign = rng.integers(0, n_parts, size=n)
+    return (centers[assign] + rng.normal(0.0, 0.5, size=(n, dim))).astype(np.float32)
+
+
+def build_system(args: argparse.Namespace, replication: int, selector: str) -> DistributedANN:
+    return DistributedANN(
+        SystemConfig(
+            n_cores=args.cores,
+            cores_per_node=1,  # one worker per node: crisp per-core attribution
+            k=args.k,
+            n_probe=1,  # skew lands undiluted on the routed partition
+            hnsw=HnswParams(M=8, ef_construction=40, seed=args.seed),
+            replication_factor=replication,
+            replica_selector=selector,
+            searcher="modeled",
+            modeled_search_seconds=args.task_seconds,
+            modeled_sample_points=64,
+            seed=args.seed,
+        )
+    )
+
+
+def skewed_queries(ann: DistributedANN, args: argparse.Namespace) -> np.ndarray:
+    """Zipf workload over the fitted system's partition anchors.
+
+    Anchor rank order is a seeded permutation of partition ids, so the hot
+    partition is not structurally special (e.g. not always partition 0).
+    """
+    anchors = np.stack(
+        [p.points.mean(axis=0) for _, p in sorted(ann.partitions.items()) if p.n_points]
+    )
+    perm = np.random.default_rng([args.seed, 0xFACE]).permutation(len(anchors))
+    return zipf_queries(
+        anchors[perm], args.n_queries, skew=args.skew, compactness=0.02, seed=args.seed
+    )
+
+
+def run(args: argparse.Namespace) -> dict:
+    X = make_corpus(args.n, args.dim, args.cores, args.seed)
+
+    runs = []
+    checksums: dict[int, set] = {}
+    for replication in args.replication:
+        # fit once per replication factor; the query batch targets the
+        # fitted partition layout, identical across selectors
+        ref = build_system(args, replication, "primary")
+        ref.fit(X)
+        Q = skewed_queries(ref, args)
+
+        for selector in SELECTORS:
+            if replication == 1 and selector != "primary":
+                continue  # one replica: every policy degenerates to it
+            ann = build_system(args, replication, selector)
+            ann.fit(X)
+            D, ids, rep = ann.query(Q, k=args.k)
+            checksums.setdefault(replication, set()).add(results_checksum(D, ids))
+            busy = rep.core_busy_seconds
+            runs.append(
+                {
+                    "replication": replication,
+                    "selector": selector,
+                    "makespan_s": round(rep.total_seconds, 6),
+                    "imbalance_factor": round(rep.imbalance_factor, 4),
+                    "max_core_busy_s": round(float(busy.max()), 6),
+                    "mean_core_busy_s": round(float(busy.mean()), 6),
+                    "peak_queue_depth": round(float(rep.queue_depth_timeline[:, 1].max()), 1),
+                    "results_sha256": results_checksum(D, ids),
+                }
+            )
+        # golden contract: a repeat primary run is bit-identical
+        again = build_system(args, replication, "primary")
+        again.fit(X)
+        D2, I2, rep2 = again.query(Q, k=args.k)
+        primary_row = next(
+            r for r in runs if r["replication"] == replication and r["selector"] == "primary"
+        )
+        if (
+            results_checksum(D2, I2) != primary_row["results_sha256"]
+            or round(rep2.total_seconds, 6) != primary_row["makespan_s"]
+        ):
+            print("ERROR: primary run is not deterministic", file=sys.stderr)
+            primary_deterministic = False
+        else:
+            primary_deterministic = True
+
+    head_r = args.headline_replication
+    head_primary = next(
+        r["makespan_s"] for r in runs if r["replication"] == head_r and r["selector"] == "primary"
+    )
+    head_ll = next(
+        r["makespan_s"]
+        for r in runs
+        if r["replication"] == head_r and r["selector"] == "least_loaded"
+    )
+
+    return {
+        "schema": 1,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": {
+            "n": args.n,
+            "dim": args.dim,
+            "n_queries": args.n_queries,
+            "k": args.k,
+            "cores": args.cores,
+            "skew": args.skew,
+            "task_seconds": args.task_seconds,
+            "replication": list(args.replication),
+            "headline_replication": head_r,
+            "seed": args.seed,
+        },
+        "runs": runs,
+        "headline": {
+            "replication": head_r,
+            "primary_makespan": head_primary,
+            "least_loaded_makespan": head_ll,
+            "improvement": round(head_primary / head_ll, 3),
+        },
+        "primary_deterministic": primary_deterministic,
+        # selectors only move tasks between replicas of the same partition,
+        # so within each replication factor every selector must agree
+        "results_identical_across_selectors": all(len(s) == 1 for s in checksums.values()),
+    }
+
+
+def _get(report: dict, dotted: str):
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def validate(report: dict) -> list[str]:
+    """Names of REQUIRED_KEYS missing from ``report``."""
+    return [key for key in REQUIRED_KEYS if _get(report, key) is None]
+
+
+def trim(report: dict) -> dict:
+    """A previous run reduced to the fields the trajectory keeps."""
+    return {
+        "created": report.get("created"),
+        "config": report.get("config"),
+        "headline": report.get("headline"),
+        "primary_deterministic": report.get("primary_deterministic"),
+        "results_identical_across_selectors": report.get(
+            "results_identical_across_selectors"
+        ),
+    }
+
+
+def fold_previous(report: dict, out_path: str) -> dict:
+    """Record the previous run (and rolling history) in the trajectory."""
+    if not os.path.exists(out_path):
+        return report
+    try:
+        with open(out_path) as fh:
+            prev = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"NOTE: could not read previous {out_path}: {exc}", file=sys.stderr)
+        return report
+    report["history"] = (prev.get("history", []) + [trim(prev)])[-20:]
+    report["previous"] = trim(prev)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description="Replica-selector load-balancing benchmark")
+    ap.add_argument("--n", type=int, default=4000, help="corpus size")
+    ap.add_argument("--dim", type=int, default=16)
+    ap.add_argument("--n-queries", type=int, default=600, dest="n_queries")
+    ap.add_argument("--k", type=int, default=10)
+    ap.add_argument("--cores", type=int, default=16)
+    ap.add_argument("--skew", type=float, default=1.3, help="Zipf exponent of the workload")
+    ap.add_argument(
+        "--task-seconds",
+        type=float,
+        default=5e-3,
+        dest="task_seconds",
+        help="modeled virtual seconds per local search",
+    )
+    ap.add_argument(
+        "--replication", type=int, nargs="+", default=[1, 2, 4], help="factors to sweep"
+    )
+    ap.add_argument(
+        "--headline-replication",
+        type=int,
+        default=4,
+        dest="headline_replication",
+        help="replication factor the headline improvement is computed at",
+    )
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default="BENCH_loadbalance.json")
+    ap.add_argument(
+        "--smoke", action="store_true", help="CI smoke size (n=1200, 200 queries)"
+    )
+    ap.add_argument(
+        "--min-improvement",
+        type=float,
+        default=1.5,
+        dest="min_improvement",
+        help="exit non-zero if the headline improvement falls below this floor",
+    )
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.n, args.n_queries = 1200, 200
+
+    report = run(args)
+    report = fold_previous(report, args.out)
+
+    missing = validate(report)
+    if missing:
+        print(f"ERROR: benchmark report is missing keys: {missing}", file=sys.stderr)
+        return 2
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"{'r':>3} {'selector':<22} {'makespan':>12} {'imbalance':>10} {'peak queue':>11}")
+    for row in report["runs"]:
+        print(
+            f"{row['replication']:>3} {row['selector']:<22} "
+            f"{row['makespan_s']:>11.4f}s {row['imbalance_factor']:>10.2f} "
+            f"{row['peak_queue_depth']:>11.1f}"
+        )
+    head = report["headline"]
+    print(
+        f"least_loaded vs primary at r={head['replication']}: "
+        f"{head['improvement']:.2f}x makespan improvement "
+        f"(skew={report['config']['skew']})"
+    )
+    if not report["primary_deterministic"]:
+        print("ERROR: primary runs are not bit-identical", file=sys.stderr)
+        return 4
+    if not report["results_identical_across_selectors"]:
+        print("ERROR: selectors changed search results", file=sys.stderr)
+        return 5
+    print(f"wrote {args.out}")
+
+    if args.min_improvement is not None and head["improvement"] < args.min_improvement:
+        print(
+            f"ERROR: improvement {head['improvement']:.2f}x below floor "
+            f"{args.min_improvement}x",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

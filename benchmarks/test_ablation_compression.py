@@ -35,8 +35,9 @@ def test_compression_recall_plateau(run_once):
         # IVF-PQ: recall plateaus below 1.0 even probing every cell
         ivf = IVFPQIndex(n_cells=32, n_subspaces=8, n_centroids=128, seed=71).fit(X)
         for n_probe in (1, 8, 32):
+            ivf.n_probe = n_probe
             hits = sum(
-                len(set(ivf.knn_search(Q[i], 10, n_probe=n_probe)[1]) & set(gt_i[i]))
+                len(set(ivf.knn_search(Q[i], 10)[1]) & set(gt_i[i]))
                 for i in range(len(Q))
             )
             rows.append((f"IVF-PQ probe={n_probe}", hits / (len(Q) * 10)))

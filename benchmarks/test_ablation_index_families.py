@@ -46,8 +46,8 @@ def test_index_family_tradeoffs(run_once):
         r, e = recall_and_evals(lsh_hr, lambda i, q: i.knn_search(q, 10))
         rows.append(("LSH high-recall", r, e, dim * 4 + 32 * 8))
 
-        ivf = IVFPQIndex(n_cells=32, n_subspaces=8, n_centroids=128, seed=77).fit(X)
-        r, e = recall_and_evals(ivf, lambda i, q: i.knn_search(q, 10, n_probe=8))
+        ivf = IVFPQIndex(n_cells=32, n_subspaces=8, n_centroids=128, seed=77, n_probe=8).fit(X)
+        r, e = recall_and_evals(ivf, lambda i, q: i.knn_search(q, 10))
         rows.append(("IVF-PQ (quantization)", r, e, 8))
         return rows
 

@@ -30,24 +30,39 @@ Subpackages
 - ``repro.datasets``  — synthetic corpora, file formats, ground truth.
 - ``repro.metrics``   — vectorized distance metrics.
 - ``repro.eval``      — recall, load statistics, scaling tables.
+
+The names below are the supported public surface; everything else under
+``repro.*`` is internal and may move between releases.
+``tests/test_public_api.py`` pins this list — extend it deliberately, in
+both places.
 """
 
 from repro.core import DistributedANN, SystemConfig, BuildReport, SearchReport
+from repro.core.replication import Workgroups
+from repro.faults import FaultSpec
 from repro.hnsw import HnswIndex, HnswParams
-from repro.vptree import VPTree, PartitionRouter
 from repro.kdtree import KDTree
+from repro.loadbalance import ReplicaSelector
+from repro.protocols import Searcher
+from repro.runtime import ClusterRuntime
+from repro.vptree import VPTree, PartitionRouter
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "DistributedANN",
-    "SystemConfig",
     "BuildReport",
-    "SearchReport",
+    "ClusterRuntime",
+    "DistributedANN",
+    "FaultSpec",
     "HnswIndex",
     "HnswParams",
-    "VPTree",
-    "PartitionRouter",
     "KDTree",
+    "PartitionRouter",
+    "ReplicaSelector",
+    "Searcher",
+    "SearchReport",
+    "SystemConfig",
+    "VPTree",
+    "Workgroups",
     "__version__",
 ]

@@ -16,6 +16,7 @@ Installed as ``repro`` (console script) or runnable as
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -23,7 +24,32 @@ import time
 
 import numpy as np
 
-__all__ = ["main"]
+__all__ = ["main", "add_config_flags"]
+
+
+def add_config_flags(parser: argparse.ArgumentParser, command: str) -> None:
+    """Add every ``SystemConfig`` field tagged with CLI metadata to ``parser``.
+
+    The config dataclass is the single source of truth for config-backed
+    knobs (see :func:`repro.core.config.cli_option`): dest is the field
+    name, the default is the field default, and the declared type/choices
+    carry over — so a new knob is declared once, on the field, and every
+    listed subcommand picks it up.  ``tests/test_cli.py`` asserts the
+    round-trip for every tagged field.
+    """
+    from repro.core.config import SystemConfig
+
+    for f in dataclasses.fields(SystemConfig):
+        meta = f.metadata.get("cli")
+        if meta is None or command not in meta["commands"]:
+            continue
+        kwargs: dict = {"dest": f.name, "default": f.default, "help": meta["help"]}
+        if meta["choices"] is not None:
+            kwargs["choices"] = list(meta["choices"])
+        ftype = meta["type"] if meta["type"] is not None else type(f.default)
+        if ftype is not str:
+            kwargs["type"] = ftype
+        parser.add_argument(meta["flag"], **kwargs)
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
@@ -158,6 +184,17 @@ def _print_fault_summary(rep) -> None:
     )
 
 
+def _print_load_summary(cfg, rep) -> None:
+    """Imbalance line, shown whenever replica choice can matter."""
+    if cfg.replication_factor <= 1 and cfg.replica_selector == "primary":
+        return
+    if rep.core_busy_seconds is None:
+        return
+    from repro.eval import imbalance_stats
+
+    print(f"load: selector {cfg.replica_selector!r}, {imbalance_stats(rep.core_busy_seconds)}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import DistributedANN, SystemConfig
     from repro.core.partition import Partition
@@ -173,7 +210,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         k=args.k or meta["k"],
         hnsw=HnswParams(M=meta["M"], ef_construction=meta["ef_construction"], seed=meta["seed"]),
         n_probe=args.n_probe or meta["n_probe"],
-        replication_factor=args.replication,
+        replication_factor=args.replication_factor,
+        replica_selector=args.replica_selector,
         batch_size=args.batch_size,
         seed=meta["seed"],
         # fault tolerance tracks per-task deadlines at the master, which
@@ -223,6 +261,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"messages, virtual time "
         f"{rep.total_seconds*1e3:.2f} ms ({rep.throughput:,.0f} q/s)"
     )
+    _print_load_summary(cfg, rep)
     if fault_spec is not None:
         _print_fault_summary(rep)
     if any(v > 0 for v in rep.phase_breakdown.values()):
@@ -258,7 +297,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             modeled_sample_points=16,
             modeled_search_seconds=args.task_seconds,
             n_probe=3,
-            replication_factor=min(args.replication, P),
+            replication_factor=min(args.replication_factor, P),
+            replica_selector=args.replica_selector,
+            skew=args.skew,
             batch_size=args.batch_size,
             seed=args.seed,
             one_sided=fault_spec is None,
@@ -266,9 +307,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         ann = DistributedANN(cfg)
         ann.fit(ds.X)
-        _, _, rep = ann.query(Q)
+        if cfg.skew > 0:
+            # aim the batch at partitions with Zipf-distributed popularity:
+            # the skewed-serving workload replica selection is for
+            from repro.datasets import zipf_queries
+
+            anchors = np.stack(
+                [p.points.mean(axis=0) for p in ann.partitions.values() if p.n_points]
+            )
+            Qrun = zipf_queries(anchors, args.n_queries, skew=cfg.skew, seed=args.seed + 1)
+        else:
+            Qrun = Q
+        _, _, rep = ann.query(Qrun)
         meas.append((P, rep.total_seconds))
         print(f"P={P:5d}  virtual {rep.total_seconds:.4f}s")
+        _print_load_summary(cfg, rep)
         if fault_spec is not None:
             _print_fault_summary(rep)
     for row in speedup_table(meas):
@@ -309,11 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--k", type=int, default=None)
     q.add_argument("--n-probe", type=int, default=None, dest="n_probe")
     q.add_argument("--faults", help="fault scenario JSON (switches to fault-tolerant dispatch)")
-    q.add_argument("--replication", type=int, default=1, help="workgroup replication factor r")
-    q.add_argument(
-        "--batch-size", type=int, default=1, dest="batch_size",
-        help="queries per task message (per-partition dispatch batching)",
-    )
+    add_config_flags(q, "query")
     q.set_defaults(func=_cmd_query)
 
     be = sub.add_parser("bench", help="strong-scaling sweep on the simulated cluster")
@@ -323,11 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--n-queries", type=int, default=1000, dest="n_queries")
     be.add_argument("--task-seconds", type=float, default=2e-3, dest="task_seconds")
     be.add_argument("--faults", help="fault scenario JSON (switches to fault-tolerant dispatch)")
-    be.add_argument("--replication", type=int, default=1, help="workgroup replication factor r")
-    be.add_argument(
-        "--batch-size", type=int, default=1, dest="batch_size",
-        help="queries per task message (per-partition dispatch batching)",
-    )
+    add_config_flags(be, "bench")
     be.add_argument("--seed", type=int, default=0)
     be.set_defaults(func=_cmd_bench)
     return ap

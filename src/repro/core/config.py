@@ -16,11 +16,31 @@ from repro.simmpi.costmodel import CostModel
 from repro.simmpi.errors import SimConfigError
 from repro.simmpi.network import NetworkModel
 
-__all__ = ["SystemConfig"]
+__all__ = ["SystemConfig", "cli_option"]
 
 _ROUTINGS = ("approx", "adaptive")
 _OWNERS = ("master", "multiple")
 _SEARCHERS = ("real", "modeled")
+_SELECTORS = ("primary", "round_robin", "least_loaded", "power_of_two_choices")
+
+
+def cli_option(
+    flag: str,
+    help: str,  # noqa: A002 - mirrors argparse's keyword
+    commands: tuple[str, ...] = ("query", "bench"),
+    type: type | None = None,  # noqa: A002
+    choices: tuple | None = None,
+) -> dict:
+    """Dataclass-field metadata declaring the field's CLI flag.
+
+    ``SystemConfig`` is the single source of truth for config-backed CLI
+    knobs: tag a field with ``metadata=cli_option(...)`` and the argparse
+    flag (dest = field name, default = field default) is derived by
+    :func:`repro.cli.add_config_flags` on every subcommand named in
+    ``commands`` — declared once, parsed everywhere, round-trip tested.
+    """
+    return {"cli": {"flag": flag, "help": help, "commands": commands,
+                    "type": type, "choices": choices}}
 
 
 @dataclass(frozen=True)
@@ -73,8 +93,41 @@ class SystemConfig:
     #: headers and python dispatch).  1 = one task per (query, partition),
     #: wire-identical to the unbatched protocol.  Batching reorders
     #: dispatch, so >1 requires the plain master/approx path.
-    batch_size: int = 1
-    replication_factor: int = 1
+    batch_size: int = field(
+        default=1,
+        metadata=cli_option(
+            "--batch-size", "queries per task message (per-partition dispatch batching)"
+        ),
+    )
+    replication_factor: int = field(
+        default=1,
+        metadata=cli_option("--replication", "workgroup replication factor r"),
+    )
+    #: which replica of a task's target partition serves it (see
+    #: :mod:`repro.loadbalance`): ``"primary"`` — the workgroup circular
+    #: pointer (Alg. 5, bit-identical to the pre-selector dispatcher),
+    #: ``"round_robin"``, ``"least_loaded"``, ``"power_of_two_choices"``.
+    #: Master-worker modes only; with r = 1 all policies coincide.
+    replica_selector: str = field(
+        default="primary",
+        metadata=cli_option(
+            "--replica-selector",
+            "replica selection policy for dispatch (load balancing)",
+            choices=_SELECTORS,
+        ),
+    )
+    #: Zipf exponent s of the skewed-workload generator (0 = uniform
+    #: targets).  A workload knob, not an engine knob: the engine never
+    #: reads it — ``repro bench`` and the load-balance benchmark pass it to
+    #: :func:`repro.datasets.zipf_queries` to aim queries at partitions
+    #: with probability proportional to 1/rank^s.
+    skew: float = field(
+        default=0.0,
+        metadata=cli_option(
+            "--skew", "Zipf exponent of the benchmark query workload (0 = uniform)",
+            commands=("bench",),
+        ),
+    )
     one_sided: bool = True
     owner_strategy: str = "master"
     searcher: str = "real"
@@ -120,6 +173,17 @@ class SystemConfig:
             )
         if self.n_probe < 1:
             raise SimConfigError(f"n_probe must be >= 1, got {self.n_probe}")
+        if self.replica_selector not in _SELECTORS:
+            raise SimConfigError(
+                f"replica_selector must be one of {_SELECTORS}, got {self.replica_selector!r}"
+            )
+        if self.replica_selector != "primary" and self.owner_strategy != "master":
+            raise SimConfigError(
+                "replica selection policies require owner_strategy='master': "
+                "owners dispatch through the paper's workgroup pointer only"
+            )
+        if self.skew < 0:
+            raise SimConfigError(f"skew must be >= 0, got {self.skew}")
         if self.batch_size < 1:
             raise SimConfigError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.batch_size > 1:

@@ -123,7 +123,8 @@ class IvfPqLocalSearcher:
                 "expected IVFPQIndex — call attach_local_indexes first"
             )
         before = idx.n_dist_evals
-        d, ids = idx.knn_search(query, k, n_probe=self.n_probe_cells)
+        idx.n_probe = self.n_probe_cells
+        d, ids = idx.knn_search(query, k)
         scanned = idx.n_dist_evals - before
         # ADC: table build (n_centroids x sub_dim madds x n_subspaces) plus
         # n_subspaces lookup-adds per scanned code

@@ -2,8 +2,9 @@
 
 The master routes every query through the VP-tree skeleton to its partition
 set F(q), dispatches one task per (query, partition) to a worker node —
-round-robin over the partition's workgroup when replication is on (Alg. 5)
-— then sends "End of Queries" to every node and collects results:
+picking the replica with the configured :mod:`repro.loadbalance` selector
+when replication is on (Alg. 5's round-robin is the ``primary`` default) —
+then sends "End of Queries" to every node and collects results:
 
 - two-sided: receives one result message per dispatched task and merges it
   into :class:`~repro.core.results.GlobalResults` (Alg. 3's update loop);
@@ -34,6 +35,7 @@ from repro.core.messages import (
 from repro.core.replication import Workgroups
 from repro.core.results import GlobalResults
 from repro.faults.spec import FaultPolicy
+from repro.loadbalance import PrimarySelector, ReplicaSelector
 from repro.simmpi.engine import WAIT_TIMED_OUT, Context, Mailbox
 from repro.vptree.router import PartitionRouter
 
@@ -70,6 +72,9 @@ class MasterReport:
         self.completeness: np.ndarray | None = None
         #: cores the dispatcher declared dead after repeated timeouts
         self.suspected_dead_cores: list[int] = []
+        #: (virtual time, total modeled queued tasks) samples, one per
+        #: dispatch, from the selector's LoadTracker (None without one)
+        self.queue_depth_timeline: np.ndarray | None = None
 
 
 def master_program(
@@ -81,9 +86,19 @@ def master_program(
     results: GlobalResults,
     node_mailboxes: list[Mailbox],
     window,
+    selector: ReplicaSelector | None = None,
 ):
-    """The master proc body.  Returns a :class:`MasterReport`."""
+    """The master proc body.  Returns a :class:`MasterReport`.
+
+    ``selector`` picks the replica core of each task's target partition
+    (see :mod:`repro.loadbalance`); None falls back to
+    :class:`~repro.loadbalance.PrimarySelector`, the workgroup circular
+    pointer every golden trace was recorded with.
+    """
     report = MasterReport(config.n_cores)
+    if selector is None:
+        selector = PrimarySelector(workgroups)
+    tracker = selector.tracker
     k = config.k
     one_sided = window is not None
     n_threads_total = config.n_nodes * config.threads_per_node
@@ -98,7 +113,8 @@ def master_program(
 
     def dispatch(query_id: int, partition_id: int, qvec: np.ndarray):
         with ctx.span("dispatch"):
-            core = workgroups.next_core(partition_id)
+            core = selector.pick(partition_id, ctx.now)
+            tracker.record_dispatch(core, ctx.now)
             report.dispatch_counts[core] += 1
             report.tasks_sent += 1
             report.batches_sent += 1
@@ -122,7 +138,8 @@ def master_program(
         knob — the batched-vs-unbatched golden tests pin this.
         """
         with ctx.span("dispatch"):
-            core = workgroups.next_core(partition_id)
+            core = selector.pick(partition_id, ctx.now)
+            tracker.record_dispatch(core, ctx.now, n_tasks=len(query_ids))
             report.dispatch_counts[core] += len(query_ids)
             report.tasks_sent += len(query_ids)
             report.batches_sent += 1
@@ -253,6 +270,7 @@ def master_program(
 
     if not one_sided:
         report.query_latencies = latencies
+    report.queue_depth_timeline = tracker.timeline()
     return report
 
 
@@ -266,6 +284,7 @@ def fault_tolerant_master_program(
     node_mailboxes: list[Mailbox],
     policy: FaultPolicy,
     task_seconds_hint: float,
+    selector: ReplicaSelector | None = None,
 ):
     """Master proc body with timeout / retry / failover dispatch.
 
@@ -282,8 +301,16 @@ def fault_tolerant_master_program(
     still merged (they only improve recall); answers for already-completed
     tasks — late retries or link-level duplicates — are dropped by
     (query, partition) dedup.  Returns a :class:`MasterReport`.
+
+    Replica selection composes with fault tolerance: suspicion and the
+    per-task tried set shrink the candidate pool through ``exclude``, and
+    the ``selector`` policy ranks the remaining live replicas — so a
+    least-loaded run keeps balancing across whatever survives.
     """
     report = MasterReport(config.n_cores)
+    if selector is None:
+        selector = PrimarySelector(workgroups)
+    tracker = selector.tracker
     k = config.k
     n_q = len(queries)
     n_threads_total = config.n_nodes * config.threads_per_node
@@ -326,6 +353,7 @@ def fault_tolerant_master_program(
             latencies[query_id] = ctx.now - batch_start
 
     def send_task(query_id: int, partition_id: int, core: int):
+        tracker.record_dispatch(core, ctx.now)
         report.dispatch_counts[core] += 1
         report.tasks_sent += 1
         report.batches_sent += 1
@@ -364,13 +392,13 @@ def fault_tolerant_master_program(
         # prefer an untried live replica, then any live one, then anything:
         # suspicion steers dispatch away from dead cores but never forfeits a
         # task's remaining attempts (suspicion can be wrong — lossy links)
-        nxt = workgroups.next_core(partition_id, exclude=dead | state["tried"])
+        nxt = selector.pick(partition_id, ctx.now, exclude=dead | state["tried"])
         if nxt is None:
-            nxt = workgroups.next_core(partition_id, exclude=dead)
+            nxt = selector.pick(partition_id, ctx.now, exclude=dead)
         if nxt is None:
-            nxt = workgroups.next_core(partition_id, exclude=state["tried"])
+            nxt = selector.pick(partition_id, ctx.now, exclude=state["tried"])
         if nxt is None:
-            nxt = workgroups.next_core(partition_id)
+            nxt = selector.pick(partition_id, ctx.now)
         state["attempts"] += 1
         state["tried"].add(nxt)
         span = "retry" if nxt == state["core"] else "failover"
@@ -386,7 +414,7 @@ def fault_tolerant_master_program(
     # -- initial dispatch wave -----------------------------------------------
     for qid in range(n_q):
         for pid_part in parts_per_query[qid]:
-            core = workgroups.next_core(pid_part, exclude=dead)
+            core = selector.pick(pid_part, ctx.now, exclude=dead)
             if core is None:
                 failed.add((qid, pid_part))
                 report.failed_tasks += 1
@@ -472,4 +500,5 @@ def fault_tolerant_master_program(
         done_counts[qid] += 1.0
     report.completeness = np.where(n_parts > 0, done_counts / np.maximum(n_parts, 1.0), 1.0)
     report.query_latencies = latencies
+    report.queue_depth_timeline = tracker.timeline()
     return report

@@ -64,6 +64,14 @@ class Workgroups:
 
         Cores in ``exclude`` are skipped; returns None when the whole
         workgroup is excluded (no live replica — the degraded case).
+
+        The choice is a pure function of ``(seed, partition_id, exclude)``
+        and this partition's prior ``next_core`` call history: no hidden
+        randomness is drawn per call, two instances built with the same
+        ``(n_cores, replication_factor, seed)`` replay identical sequences,
+        and excluding a core skips it *without* consuming the skipped
+        pointer position — so load-balancing and failover runs are
+        reproducible, which the golden tests rely on.
         """
         group = self._groups[partition_id]
         n = len(group)

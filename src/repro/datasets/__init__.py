@@ -15,7 +15,13 @@ from repro.datasets.descriptors import (
     deep_like,
     gist_like,
 )
-from repro.datasets.queries import cluster_queries, uniform_queries, sample_queries
+from repro.datasets.queries import (
+    cluster_queries,
+    uniform_queries,
+    sample_queries,
+    zipf_query_targets,
+    zipf_queries,
+)
 from repro.datasets.ground_truth import brute_force_knn
 from repro.datasets.formats import (
     read_fvecs,
@@ -36,6 +42,8 @@ __all__ = [
     "cluster_queries",
     "uniform_queries",
     "sample_queries",
+    "zipf_query_targets",
+    "zipf_queries",
     "brute_force_knn",
     "read_fvecs",
     "write_fvecs",

@@ -5,6 +5,13 @@ in a single cluster with a compactness factor of 0.01" — i.e. all queries
 land inside one tight region, which is precisely the workload that creates
 the cross-partition load imbalance that Fig. 4 studies.  For descriptor
 datasets the query set is held out from the same distribution.
+
+:func:`zipf_queries` generalizes the single-hot-cluster workload to a
+*graded* skew: each query targets one of a set of anchor points (typically
+partition centroids) drawn with Zipf-distributed rank, so partition
+popularity follows 1/rank^s — the heavy-tailed shape real serving traffic
+has, and the input the :mod:`repro.loadbalance` benchmark stresses
+replica selection with.
 """
 
 from __future__ import annotations
@@ -13,7 +20,13 @@ import numpy as np
 
 from repro.utils.validation import check_matrix, check_positive_int
 
-__all__ = ["cluster_queries", "uniform_queries", "sample_queries"]
+__all__ = [
+    "cluster_queries",
+    "uniform_queries",
+    "sample_queries",
+    "zipf_query_targets",
+    "zipf_queries",
+]
 
 
 def cluster_queries(
@@ -64,3 +77,54 @@ def sample_queries(
     if noise_scale > 0:
         Q = Q + rng.normal(0.0, noise_scale * X.std(axis=0, dtype=np.float64), size=Q.shape)
     return np.ascontiguousarray(Q, dtype=np.float32)
+
+
+def zipf_query_targets(
+    n_queries: int, n_targets: int, skew: float, seed: int = 0
+) -> np.ndarray:
+    """Zipf-distributed target indices: P(target i) ∝ 1/(i+1)^skew.
+
+    ``skew = 0`` degenerates to the uniform distribution; larger exponents
+    concentrate mass on the low-index targets (at s = 1.1 over 16 targets,
+    target 0 draws ~29% of the queries).  Targets are indexed by *rank* —
+    callers decide what rank maps to (the benchmark permutes partition ids
+    by seed so the hot partition isn't always partition 0).
+    """
+    check_positive_int(n_queries, "n_queries")
+    check_positive_int(n_targets, "n_targets")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    weights = 1.0 / np.arange(1, n_targets + 1, dtype=np.float64) ** skew
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xC4]))
+    return rng.choice(n_targets, size=n_queries, p=weights / weights.sum())
+
+
+def zipf_queries(
+    anchors: np.ndarray,
+    n_queries: int,
+    skew: float = 1.1,
+    compactness: float = 0.01,
+    scale: float | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Skewed workload: each query lands in a tight box around an anchor
+    point whose *rank* is Zipf-distributed (anchor row order = rank order;
+    permute the rows to move the hot spot).
+
+    ``anchors`` is typically the fitted system's per-partition centroids,
+    so the routing layer sends ~1/rank^s of the batch toward each
+    partition.  ``compactness`` is the half-width of the uniform box as a
+    fraction of ``scale`` (default: the anchors' largest coordinate
+    spread), matching :func:`cluster_queries`' convention.  Returns a
+    float32 (n_queries, dim) matrix; also see :func:`zipf_query_targets`
+    for the raw rank draw.
+    """
+    anchors = check_matrix(anchors, "anchors")
+    targets = zipf_query_targets(n_queries, len(anchors), skew, seed=seed)
+    if scale is None:
+        spread = anchors.max(axis=0) - anchors.min(axis=0)
+        scale = float(spread.max()) if len(anchors) > 1 and spread.max() > 0 else 1.0
+    half = compactness * scale
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xC5]))
+    jitter = rng.uniform(-half, half, size=(n_queries, anchors.shape[1]))
+    return np.ascontiguousarray(anchors[targets].astype(np.float64) + jitter, dtype=np.float32)

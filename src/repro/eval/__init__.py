@@ -6,7 +6,7 @@ so benchmark output lines up with the evaluation section one-to-one.
 
 from repro.eval.recall import recall_at_k, per_query_recall
 from repro.eval.availability import AvailabilityStats, availability_stats, degraded_recall
-from repro.eval.load import load_distribution, LoadStats
+from repro.eval.load import load_distribution, LoadStats, imbalance_stats, ImbalanceStats
 from repro.eval.scaling import speedup_table, ScalingRow
 from repro.eval.latency import latency_stats, LatencyStats
 from repro.eval.reporting import format_table, format_histogram, format_phase_breakdown
@@ -19,6 +19,8 @@ __all__ = [
     "degraded_recall",
     "load_distribution",
     "LoadStats",
+    "imbalance_stats",
+    "ImbalanceStats",
     "speedup_table",
     "ScalingRow",
     "latency_stats",

@@ -1,9 +1,15 @@
-"""Load-distribution statistics (Fig. 4b).
+"""Load-distribution statistics (Fig. 4b) and busy-time imbalance.
 
 Fig. 4b plots, for each replication factor, the distribution of the number
 of queries dispatched to each processing core, against the optimal-balance
 line (total tasks / P).  :func:`load_distribution` reduces a dispatch-count
 vector to the summary statistics the figure visualizes.
+
+:func:`imbalance_stats` is the time-domain companion for the
+:mod:`repro.loadbalance` work: it reduces the observed per-core busy
+seconds (``SearchReport.core_busy_seconds``) to min/max/mean and the
+imbalance factor max/mean — task counts say where tasks *went*, busy time
+says what they *cost*, and the latter is what bounds the makespan.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LoadStats", "load_distribution"]
+__all__ = ["LoadStats", "load_distribution", "ImbalanceStats", "imbalance_stats"]
 
 
 @dataclass(frozen=True)
@@ -51,4 +57,40 @@ def load_distribution(dispatch_counts: np.ndarray) -> LoadStats:
         std_tasks=float(counts.std()),
         imbalance=float(counts.max() / mean) if mean > 0 else float("inf"),
         optimal=float(mean),
+    )
+
+
+@dataclass(frozen=True)
+class ImbalanceStats:
+    """Summary of a per-core busy-time vector (virtual seconds)."""
+
+    n_cores: int
+    total_busy: float
+    min_busy: float
+    max_busy: float
+    mean_busy: float
+    #: max/mean busy time — 1.0 is perfect balance; the straggler factor
+    #: replication-based load balancing exists to shrink
+    imbalance: float
+
+    def __str__(self) -> str:
+        return (
+            f"imbalance {self.imbalance:.2f} (max/mean core busy time; "
+            f"busy {self.min_busy:.4g}..{self.max_busy:.4g}s over {self.n_cores} cores)"
+        )
+
+
+def imbalance_stats(core_busy_seconds: np.ndarray) -> ImbalanceStats:
+    """Reduce ``SearchReport.core_busy_seconds`` to imbalance statistics."""
+    busy = np.asarray(core_busy_seconds, dtype=np.float64)
+    if busy.ndim != 1 or busy.size == 0:
+        raise ValueError(f"core_busy_seconds must be a non-empty 1-D vector, got {busy.shape}")
+    mean = float(busy.mean())
+    return ImbalanceStats(
+        n_cores=busy.size,
+        total_busy=float(busy.sum()),
+        min_busy=float(busy.min()),
+        max_busy=float(busy.max()),
+        mean_busy=mean,
+        imbalance=float(busy.max() / mean) if mean > 0 else 1.0,
     )

@@ -11,8 +11,9 @@ comparison shows up as a hard failure there, not as a recall drift.
 It shares :mod:`repro.hnsw.kernels` and :mod:`repro.hnsw.select` with the
 production backend so the arithmetic is identical by construction; only
 the data structures differ.  Deliberately unoptimized and without
-serialization or batching — use :class:`~repro.hnsw.index.HnswIndex` for
-anything but tests.
+serialization (batching exists only as the row-by-row
+:class:`~repro.protocols.Searcher` fallback) — use
+:class:`~repro.hnsw.index.HnswIndex` for anything but tests.
 """
 
 from __future__ import annotations
@@ -292,3 +293,15 @@ class ReferenceHnswIndex:
         d = np.array([p[0] for p in pairs], dtype=np.float64)
         ids = np.array([self._ext_ids[p[1]] for p in pairs], dtype=np.int64)
         return d, ids
+
+    def knn_search_batch(
+        self, Q: np.ndarray, k: int, ef: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Padded (n_queries, k) batch search (the :class:`~repro.protocols.Searcher`
+        contract); each row is exactly ``knn_search(Q[i], k, ef)``."""
+        from repro.protocols import batch_from_single
+
+        Q = check_matrix(Q, "Q")
+        if Q.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {Q.shape[1]}")
+        return batch_from_single(lambda q, kk: self.knn_search(q, kk, ef=ef), Q, k)

@@ -87,6 +87,13 @@ class KDTree:
         self._search(self.root, q, buf)
         return buf.result()
 
+    def knn_search_batch(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Padded (n_queries, k) batch search (the :class:`~repro.protocols.Searcher`
+        contract); each row is exactly ``knn_search(Q[i], k)``."""
+        from repro.protocols import batch_from_single
+
+        return batch_from_single(self.knn_search, check_matrix(Q, "Q"), k)
+
     def _search(self, node: KDNode, q: np.ndarray, buf: KnnBuffer) -> None:
         if node.is_leaf:
             if len(node.ids):

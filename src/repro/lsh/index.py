@@ -124,6 +124,13 @@ class LSHIndex:
         order = np.lexsort((self._ids[cand], d))[:k]
         return d[order], self._ids[cand][order]
 
+    def knn_search_batch(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Padded (n_queries, k) batch search (the :class:`~repro.protocols.Searcher`
+        contract); each row is exactly ``knn_search(Q[i], k)``."""
+        from repro.protocols import batch_from_single
+
+        return batch_from_single(self.knn_search, check_matrix(Q, "Q"), k)
+
     def selectivity(self, queries: np.ndarray) -> float:
         """Mean fraction of the dataset scanned per query."""
         queries = check_matrix(queries, "queries")

@@ -11,6 +11,8 @@ re-rank step rescoring the top candidates with full-precision vectors
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.cluster import KMeans
@@ -33,6 +35,11 @@ class IVFPQIndex:
         Keep full-precision vectors for exact re-ranking (GRIP-style
         two-layer search); costs the memory the compression saved, so it
         is off by default.
+    n_probe:
+        Cells probed per query.
+    rerank:
+        Top ADC candidates rescored with true distances per query
+        (requires ``keep_vectors=True``); 0 disables re-ranking.
     """
 
     def __init__(
@@ -42,12 +49,19 @@ class IVFPQIndex:
         n_centroids: int = 256,
         keep_vectors: bool = False,
         seed: int = 0,
+        n_probe: int = 4,
+        rerank: int = 0,
     ):
         check_positive_int(n_cells, "n_cells")
+        check_positive_int(n_probe, "n_probe")
+        if rerank < 0:
+            raise ValueError(f"rerank must be >= 0, got {rerank}")
         self.n_cells = n_cells
         self.pq = ProductQuantizer(n_subspaces, n_centroids, seed=seed)
         self.keep_vectors = keep_vectors
         self.seed = seed
+        self.n_probe = n_probe
+        self.rerank = rerank
         self._coarse: KMeans | None = None
         self._lists_codes: list[np.ndarray] = []
         self._lists_ids: list[np.ndarray] = []
@@ -80,15 +94,30 @@ class IVFPQIndex:
         self,
         query: np.ndarray,
         k: int,
-        n_probe: int = 4,
-        rerank: int = 0,
+        n_probe: int | None = None,
+        rerank: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Approximate k-NN by ADC over the probed cells.
 
         ``rerank > 0`` rescores that many top ADC candidates with true
         distances (requires ``keep_vectors=True``); distances returned are
         then exact for the reranked prefix.
+
+        .. deprecated::
+            Passing ``n_probe`` / ``rerank`` per call diverges from the
+            uniform :class:`~repro.protocols.Searcher` signature; set them
+            on the constructor instead.  Per-call values still win but
+            emit a :class:`DeprecationWarning`.
         """
+        if n_probe is not None or rerank is not None:
+            warnings.warn(
+                "passing n_probe/rerank to IVFPQIndex.knn_search is deprecated; "
+                "set them on the IVFPQIndex constructor instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        n_probe = self.n_probe if n_probe is None else n_probe
+        rerank = self.rerank if rerank is None else rerank
         if self._coarse is None:
             raise RuntimeError("fit before searching")
         check_positive_int(k, "k")
@@ -128,3 +157,10 @@ class IVFPQIndex:
 
         order = order[:k]
         return np.sqrt(d[order]), ids[order]
+
+    def knn_search_batch(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Padded (n_queries, k) batch search (the :class:`~repro.protocols.Searcher`
+        contract); each row is exactly ``knn_search(Q[i], k)``."""
+        from repro.protocols import batch_from_single
+
+        return batch_from_single(self.knn_search, check_matrix(Q, "Q"), k)

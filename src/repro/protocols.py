@@ -1,0 +1,63 @@
+"""The unified index-search surface: the :class:`Searcher` protocol.
+
+Every in-memory index in this repo — the production :class:`~repro.hnsw.HnswIndex`,
+its dict-of-lists ground truth :class:`~repro.hnsw.reference.ReferenceHnswIndex`,
+and the KD-tree / LSH / IVF-PQ baselines — answers k-NN queries through
+one structural interface:
+
+- ``knn_search(query, k)`` → ``(distances, ids)`` closest first, possibly
+  shorter than ``k`` when the index holds fewer candidates;
+- ``knn_search_batch(Q, k)`` → ``(D, I)`` of shape (n_queries, k), rows
+  closest first, padded with ``inf`` / ``-1`` — row ``i`` agrees with
+  ``knn_search(Q[i], k)`` on the unpadded prefix.
+
+Per-backend search knobs (``ef``, ``n_probe``, ``rerank``, …) are
+construction-time state or optional keywords, never required positionals,
+so any backend can stand in wherever a ``Searcher`` is expected —
+``tests/test_searcher_protocol.py`` parameterizes the conformance check
+over every backend.
+
+:func:`batch_from_single` is the shared row-by-row fallback the
+non-graph backends use to provide the batch half of the contract with
+identical per-row results.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Searcher", "batch_from_single"]
+
+
+@runtime_checkable
+class Searcher(Protocol):
+    """Structural interface every k-NN index backend satisfies."""
+
+    def knn_search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """(distances, ids) for one query, closest first."""
+        ...
+
+    def knn_search_batch(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """(D, I) of shape (n_queries, k), inf/-1 padded, closest first."""
+        ...
+
+
+def batch_from_single(search, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble the padded (n_queries, k) batch result from per-row calls.
+
+    ``search`` is the backend's single-query callable; each row of the
+    output is exactly its return for that query, padded to width ``k``
+    with ``inf`` / ``-1`` — the same layout ``HnswIndex.knn_search_batch``
+    produces natively.
+    """
+    Q = np.asarray(Q)
+    nq = Q.shape[0]
+    D = np.full((nq, k), np.inf, dtype=np.float64)
+    ids = np.full((nq, k), -1, dtype=np.int64)
+    for i in range(nq):
+        d, nn = search(Q[i], k)
+        D[i, : len(d)] = d
+        ids[i, : len(nn)] = nn
+    return D, ids

@@ -101,12 +101,17 @@ class ClusterRuntime:
         # coordinators first, workers second: registration order is the
         # engine's deterministic tie-break, so it is part of the contract
         strategy.install(self, job)
+        worker_cores: dict[int, int] = {}
         for node in range(cfg.n_nodes):
             done = Event()
             control_mailbox, window = strategy.worker_wiring(self, node)
             store = node_stores[node]
+            # this node's simulated cores; on a partial last node the extra
+            # threads fold onto the valid cores round-robin so the per-core
+            # busy vector stays length n_cores with nothing dropped
+            cores = range(node * cfg.cores_per_node, min((node + 1) * cfg.cores_per_node, cfg.n_cores))
             for t in range(cfg.threads_per_node):
-                self.sim.add_proc(
+                pid = self.sim.add_proc(
                     worker_thread_program,
                     self.node_mailboxes[node],
                     store,
@@ -118,10 +123,13 @@ class ClusterRuntime:
                     node=node,
                     name=f"worker_n{node}_t{t}",
                 )
+                worker_cores[pid] = cores[t % len(cores)]
 
         out = self.sim.run()
         D, I = job.results.result_arrays()
-        report = ReportBuilder(out, strategy.coordinator_pids, len(Q)).build()
+        report = ReportBuilder(
+            out, strategy.coordinator_pids, len(Q), worker_cores=worker_cores
+        ).build()
         return D, I, report
 
 

@@ -47,6 +47,17 @@ class SearchReport:
     #: master-worker mode only; None when results return one-sided or when
     #: multiple owners each observe only their own slice)
     query_latencies: np.ndarray | None = None
+    # -- load-balance measurements (see repro.loadbalance) --
+    #: observed busy virtual seconds per core — each worker thread's
+    #: compute + active communication time (blocked waits excluded), the
+    #: quantity whose max/mean is :attr:`imbalance_factor`.  Threads of one
+    #: node share a task queue, so with cores_per_node > 1 imbalance shows
+    #: at node granularity.
+    core_busy_seconds: np.ndarray | None = None
+    #: (virtual time, total modeled queued tasks) samples, one per dispatch,
+    #: from the master's LoadTracker — queue depth over virtual time; None
+    #: when no single dispatcher observed the whole batch
+    queue_depth_timeline: np.ndarray | None = None
     #: elapsed virtual seconds per pipeline phase, summed over all procs —
     #: keys always include :data:`~repro.simmpi.trace.PHASES`
     phase_breakdown: dict = field(default_factory=dict)
@@ -86,6 +97,18 @@ class SearchReport:
         return int(np.sum(self.completeness < 1.0))
 
     @property
+    def imbalance_factor(self) -> float:
+        """Max/mean observed per-core busy time — 1.0 is perfect balance;
+        the straggler factor that bounds the batch makespan (Fig. 4's
+        quantity, measured in time rather than task counts)."""
+        if self.core_busy_seconds is None or len(self.core_busy_seconds) == 0:
+            return 1.0
+        mean = float(np.mean(self.core_busy_seconds))
+        if mean <= 0.0:
+            return 1.0
+        return float(np.max(self.core_busy_seconds)) / mean
+
+    @property
     def throughput(self) -> float:
         """Queries per virtual second (0.0 for a degenerate zero-time run)."""
         if self.total_seconds > 0:
@@ -119,10 +142,26 @@ class ReportBuilder:
         out: SimulationResult,
         coordinator_pids: list[int],
         n_queries: int,
+        worker_cores: dict[int, int] | None = None,
     ) -> None:
         self.out = out
         self.coordinator_pids = list(coordinator_pids)
         self.n_queries = n_queries
+        #: worker pid -> simulated core id, for the per-core busy vector
+        self.worker_cores = dict(worker_cores) if worker_cores else {}
+
+    def _core_busy(self) -> np.ndarray | None:
+        """Observed busy seconds per core: compute plus active send/recv/
+        poll/RMA time, excluding blocked communication waits (a core
+        waiting for work is idle, not loaded)."""
+        if not self.worker_cores:
+            return None
+        busy = np.zeros(max(self.worker_cores.values()) + 1, dtype=np.float64)
+        for pid, core in self.worker_cores.items():
+            stats = self.out.stats.get(pid)
+            if stats is not None:
+                busy[core] += stats.busy_total - stats.comm_wait
+        return busy
 
     def build(self) -> SearchReport:
         out = self.out
@@ -142,6 +181,7 @@ class ReportBuilder:
                 master_breakdown=aggregate_stats(coord_stats),
                 n_events=out.n_events,
                 phase_breakdown=aggregate_spans(list(out.stats.values())),
+                core_busy_seconds=self._core_busy(),
                 completeness=np.zeros(self.n_queries),
                 fault_events=tuple(out.fault_events),
                 crashed_pids=tuple(out.crashed_pids),
@@ -158,6 +198,11 @@ class ReportBuilder:
         # completeness is per-query, so it only composes from a single
         # coordinator (the fault-tolerant master)
         completeness = creports[0].completeness if len(creports) == 1 else None
+        # the queue-depth timeline likewise requires one dispatcher having
+        # observed every dispatch (owners each see only their slice)
+        timeline = (
+            getattr(creports[0], "queue_depth_timeline", None) if len(creports) == 1 else None
+        )
 
         return SearchReport(
             total_seconds=out.makespan,
@@ -171,6 +216,8 @@ class ReportBuilder:
             n_events=out.n_events,
             query_latencies=latencies,
             phase_breakdown=aggregate_spans(list(out.stats.values())),
+            core_busy_seconds=self._core_busy(),
+            queue_depth_timeline=timeline,
             retries=sum(r.retries for r in creports),
             failovers=sum(r.failovers for r in creports),
             failed_tasks=sum(r.failed_tasks for r in creports),

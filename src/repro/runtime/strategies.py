@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.master import fault_tolerant_master_program, master_program
 from repro.core.owner import owner_node_program
 from repro.faults.spec import FaultPolicy
+from repro.loadbalance import LoadTracker, estimate_task_seconds, make_selector
 from repro.simmpi.comm import Comm
 from repro.simmpi.engine import Mailbox
 from repro.simmpi.rma import Window
@@ -72,25 +73,6 @@ class DispatchStrategy(ABC):
         """
 
 
-def _estimate_task_seconds(cfg, job) -> float:
-    """Modeled virtual seconds of one local search, for deadline derivation.
-
-    Prefers the calibrated ``modeled_search_seconds`` override, else the
-    analytic HNSW estimate on the average resident partition size.
-    """
-    if cfg.modeled_search_seconds is not None:
-        return cfg.modeled_search_seconds
-    if cfg.searcher == "modeled":
-        n = cfg.modeled_partition_points
-    else:
-        sizes = [
-            p.n_points for store in job.node_stores.values() for p in store.partitions.values()
-        ]
-        n = max(int(np.mean(sizes)), 1) if sizes else 1
-    dim = job.Q.shape[1] if job.Q.ndim == 2 else 1
-    return cfg.cost.hnsw_search_cost(n, dim, cfg.effective_ef_search, cfg.hnsw.M)
-
-
 class MasterWorkerStrategy(DispatchStrategy):
     """One master routes and dispatches every query (Algs. 3 and 5).
 
@@ -110,9 +92,15 @@ class MasterWorkerStrategy(DispatchStrategy):
         window_holder: list[Window | None] = [None]
         fault_tolerant = cfg.fault_spec is not None or cfg.fault_policy is not None
 
+        # the replica-selection policy and its load model: one tracker per
+        # run (the master is the only dispatcher in this strategy), in-flight
+        # tasks weighted by the cost model's per-search estimate
+        task_seconds = estimate_task_seconds(cfg, job)
+        tracker = LoadTracker(cfg.n_cores, task_seconds)
+        selector = make_selector(cfg.replica_selector, job.workgroups, tracker, seed=cfg.seed)
+
         if fault_tolerant:
             policy = cfg.fault_policy if cfg.fault_policy is not None else FaultPolicy()
-            task_seconds = _estimate_task_seconds(cfg, job)
 
             def master(ctx):
                 return (
@@ -126,6 +114,7 @@ class MasterWorkerStrategy(DispatchStrategy):
                         rt.node_mailboxes,
                         policy,
                         task_seconds,
+                        selector=selector,
                     )
                 )
         else:
@@ -141,6 +130,7 @@ class MasterWorkerStrategy(DispatchStrategy):
                         job.results,
                         rt.node_mailboxes,
                         window_holder[0],
+                        selector=selector,
                     )
                 )
 

@@ -142,3 +142,86 @@ class TestBench:
         assert rc == 0
         outp = capsys.readouterr().out
         assert "speedup" in outp
+
+    def test_bench_skewed_with_selector(self, capsys):
+        rc = main(
+            [
+                "bench", "--dataset", "SYN_1M", "--cores", "8",
+                "--n-points", "512", "--n-queries", "50",
+                "--replication", "2", "--replica-selector", "least_loaded",
+                "--skew", "1.2",
+            ]
+        )
+        assert rc == 0
+        outp = capsys.readouterr().out
+        assert "imbalance" in outp
+
+
+class TestConfigDerivedFlags:
+    """SystemConfig field metadata is the single source of truth for
+    config-backed CLI knobs: every tagged field round-trips through the
+    derived argparse flags on each subcommand it declares."""
+
+    def _tagged_fields(self):
+        import dataclasses
+
+        from repro.core import SystemConfig
+
+        return [
+            (f, f.metadata["cli"])
+            for f in dataclasses.fields(SystemConfig)
+            if f.metadata.get("cli") is not None
+        ]
+
+    def test_loadbalance_knobs_are_tagged(self):
+        names = {f.name for f, _ in self._tagged_fields()}
+        assert {"batch_size", "replication_factor", "replica_selector", "skew"} <= names
+
+    def test_every_tagged_field_round_trips(self):
+        import argparse
+
+        from repro.cli import add_config_flags
+
+        fields = self._tagged_fields()
+        assert fields, "no CLI-tagged SystemConfig fields found"
+        commands = {c for _, meta in fields for c in meta["commands"]}
+        for command in sorted(commands):
+            parser = argparse.ArgumentParser()
+            add_config_flags(parser, command)
+            on_this = [(f, m) for f, m in fields if command in m["commands"]]
+
+            # defaults come from the dataclass
+            args = parser.parse_args([])
+            for f, _ in on_this:
+                assert getattr(args, f.name) == f.default
+
+            # explicit values parse back to the right dest and type
+            argv, want = [], {}
+            for f, meta in on_this:
+                if meta["choices"] is not None:
+                    value = [c for c in meta["choices"] if c != f.default][0]
+                elif isinstance(f.default, bool):
+                    continue
+                elif isinstance(f.default, float):
+                    value = f.default + 0.5
+                elif isinstance(f.default, int):
+                    value = f.default + 1
+                else:
+                    value = "x"
+                argv += [meta["flag"], str(value)]
+                want[f.name] = value
+            args = parser.parse_args(argv)
+            for name, value in want.items():
+                assert getattr(args, name) == value
+
+    def test_unknown_choice_rejected(self):
+        import argparse
+
+        import pytest as _pytest
+
+        from repro.cli import add_config_flags
+
+        parser = argparse.ArgumentParser()
+        add_config_flags(parser, "query")
+        with _pytest.raises(SystemExit):
+            parser.parse_args(["--replica-selector", "psychic"])

@@ -45,6 +45,22 @@ class TestValidation:
         with pytest.raises(SimConfigError):
             SystemConfig(n_probe=0)
 
+    def test_replica_selector_validated(self):
+        with pytest.raises(SimConfigError, match="replica_selector"):
+            SystemConfig(replica_selector="fastest")
+        for name in ("primary", "round_robin", "least_loaded", "power_of_two_choices"):
+            SystemConfig(replica_selector=name)
+
+    def test_selector_needs_master_dispatch(self):
+        with pytest.raises(SimConfigError, match="master"):
+            SystemConfig(replica_selector="least_loaded", owner_strategy="multiple")
+        SystemConfig(replica_selector="primary", owner_strategy="multiple")
+
+    def test_skew_non_negative(self):
+        with pytest.raises(SimConfigError, match="skew"):
+            SystemConfig(skew=-0.5)
+        SystemConfig(skew=1.2)
+
 
 class TestDerived:
     def test_node_mapping(self):

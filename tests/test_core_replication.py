@@ -102,3 +102,34 @@ class TestExclusion:
         wg = Workgroups(4, 2)
         assert wg.next_core(0, exclude={0, 1}) is None
         assert wg.next_core(0) == 0
+
+
+class TestDeterministicReplicaChoice:
+    """next_core is a pure function of (seed, partition_id, exclude) and the
+    partition's prior call history — the contract load balancing and
+    failover replay rely on (see the next_core docstring)."""
+
+    def test_replay_with_excludes_is_identical(self):
+        a = Workgroups(8, 3, seed=5)
+        b = Workgroups(8, 3, seed=5)
+        script = [(0, ()), (0, {0}), (1, {2}), (0, ()), (7, {7, 0}), (1, ()), (0, {1})]
+        assert [a.next_core(p, exclude=e) for p, e in script] == [
+            b.next_core(p, exclude=e) for p, e in script
+        ]
+
+    def test_no_hidden_randomness_between_calls(self):
+        # interleaving other partitions' calls never changes partition 0's cycle
+        a = Workgroups(6, 2, seed=3)
+        b = Workgroups(6, 2, seed=3)
+        seq_a = [a.next_core(0) for _ in range(6)]
+        seq_b = []
+        for _ in range(6):
+            b.next_core(3)
+            seq_b.append(b.next_core(0))
+            b.next_core(5, exclude={5})
+        assert seq_a == seq_b
+
+    def test_exclusion_does_not_consume_skipped_position(self):
+        wg = Workgroups(4, 3)  # group of 0 is [0, 1, 2]
+        assert wg.next_core(0, exclude={0}) == 1
+        assert [wg.next_core(0) for _ in range(3)] == [2, 0, 1]

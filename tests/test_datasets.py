@@ -14,6 +14,8 @@ from repro.datasets import (
     sample_queries,
     sift_like,
     uniform_queries,
+    zipf_queries,
+    zipf_query_targets,
 )
 
 
@@ -128,6 +130,44 @@ class TestQueries:
         Q = sample_queries(X, 50, noise_scale=0.1, seed=5)
         as_set = {tuple(row) for row in X.tolist()}
         assert not all(tuple(q) in as_set for q in Q.tolist())
+
+
+class TestZipfQueries:
+    def test_targets_deterministic_and_in_range(self):
+        a = zipf_query_targets(500, 16, skew=1.1, seed=9)
+        b = zipf_query_targets(500, 16, skew=1.1, seed=9)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 16
+
+    def test_skew_concentrates_mass(self):
+        flat = zipf_query_targets(4000, 16, skew=0.0, seed=2)
+        hot = zipf_query_targets(4000, 16, skew=2.0, seed=2)
+        top_flat = np.mean(flat == 0)
+        top_hot = np.mean(hot == 0)
+        assert abs(top_flat - 1 / 16) < 0.03  # skew 0 is uniform
+        assert top_hot > 0.5  # skew 2 hammers the head
+
+    def test_queries_cluster_near_their_anchor(self):
+        rng = np.random.default_rng(0)
+        anchors = (rng.normal(size=(8, 12)) * 100).astype(np.float32)
+        Q = zipf_queries(anchors, 200, skew=1.5, compactness=0.001, seed=3)
+        assert Q.shape == (200, 12) and Q.dtype == np.float32
+        d = np.linalg.norm(Q[:, None, :] - anchors[None, :, :], axis=2)
+        # each query sits closest to the anchor it jittered from
+        targets = zipf_query_targets(200, 8, skew=1.5, seed=3)
+        np.testing.assert_array_equal(np.argmin(d, axis=1), targets)
+
+    def test_queries_deterministic(self):
+        anchors = np.eye(4, dtype=np.float32)
+        np.testing.assert_array_equal(
+            zipf_queries(anchors, 50, seed=7), zipf_queries(anchors, 50, seed=7)
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_query_targets(10, 0, skew=1.0)
+        with pytest.raises(ValueError):
+            zipf_query_targets(10, 4, skew=-1.0)
 
 
 class TestCatalog:

@@ -65,10 +65,10 @@ class TestProductQuantizer:
 class TestIVFPQ:
     def test_search_recall_reasonable(self, corpus):
         X, Q, gt_d, gt_i = corpus
-        idx = IVFPQIndex(n_cells=16, n_subspaces=8, n_centroids=64, seed=4).fit(X)
+        idx = IVFPQIndex(n_cells=16, n_subspaces=8, n_centroids=64, seed=4, n_probe=8).fit(X)
         hits = 0
         for qi in range(len(Q)):
-            _, ids = idx.knn_search(Q[qi], 5, n_probe=8)
+            _, ids = idx.knn_search(Q[qi], 5)
             hits += len(set(ids) & set(gt_i[qi]))
         assert hits / (len(Q) * 5) >= 0.5  # compressed: lossy but useful
 
@@ -76,37 +76,41 @@ class TestIVFPQ:
         """The paper's §V-F claim: compression caps recall below 1.0 even
         with exhaustive probing — the quantization error floors it."""
         X, Q, gt_d, gt_i = corpus
-        idx = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4).fit(X)
+        # n_probe=8 probes every cell
+        idx = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4, n_probe=8).fit(X)
         hits = 0
         for qi in range(len(Q)):
-            _, ids = idx.knn_search(Q[qi], 5, n_probe=8)  # probe every cell
+            _, ids = idx.knn_search(Q[qi], 5)
             hits += len(set(ids) & set(gt_i[qi]))
         recall_exhaustive = hits / (len(Q) * 5)
         assert recall_exhaustive < 0.999
 
     def test_rerank_recovers_recall(self, corpus):
         X, Q, gt_d, gt_i = corpus
-        idx = IVFPQIndex(
-            n_cells=8, n_subspaces=4, n_centroids=16, keep_vectors=True, seed=4
-        ).fit(X)
 
-        def recall(**kw):
+        def recall(rerank):
+            idx = IVFPQIndex(
+                n_cells=8, n_subspaces=4, n_centroids=16, keep_vectors=True,
+                seed=4, n_probe=8, rerank=rerank,
+            ).fit(X)
             hits = 0
             for qi in range(len(Q)):
-                _, ids = idx.knn_search(Q[qi], 5, n_probe=8, **kw)
+                _, ids = idx.knn_search(Q[qi], 5)
                 hits += len(set(ids) & set(gt_i[qi]))
             return hits / (len(Q) * 5)
 
-        assert recall(rerank=50) > recall()
+        assert recall(rerank=50) > recall(rerank=0)
 
     def test_more_probes_never_hurt(self, corpus):
         X, Q, gt_d, gt_i = corpus
-        idx = IVFPQIndex(n_cells=16, n_subspaces=8, n_centroids=64, seed=4).fit(X)
 
         def recall(n_probe):
+            idx = IVFPQIndex(
+                n_cells=16, n_subspaces=8, n_centroids=64, seed=4, n_probe=n_probe
+            ).fit(X)
             hits = 0
             for qi in range(len(Q)):
-                _, ids = idx.knn_search(Q[qi], 5, n_probe=n_probe)
+                _, ids = idx.knn_search(Q[qi], 5)
                 hits += len(set(ids) & set(gt_i[qi]))
             return hits
 
@@ -115,15 +119,28 @@ class TestIVFPQ:
     def test_external_ids(self, corpus):
         X, *_ = corpus
         ids = np.arange(len(X)) + 7000
-        idx = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4).fit(X, ids)
-        _, res = idx.knn_search(X[0], 3, n_probe=8)
+        idx = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4, n_probe=8).fit(X, ids)
+        _, res = idx.knn_search(X[0], 3)
         assert all(r >= 7000 for r in res)
 
     def test_rerank_without_vectors_raises(self, corpus):
         X, *_ = corpus
-        idx = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4).fit(X)
+        idx = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4, rerank=10).fit(X)
         with pytest.raises(ValueError, match="keep_vectors"):
-            idx.knn_search(X[0], 3, rerank=10)
+            idx.knn_search(X[0], 3)
+
+    def test_per_call_knobs_deprecated_but_work(self, corpus):
+        """Per-call n_probe/rerank still win over the constructor values,
+        but emit a DeprecationWarning (the uniform Searcher surface takes
+        the knobs at construction time)."""
+        X, *_ = corpus
+        idx = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4, n_probe=1).fit(X)
+        with pytest.warns(DeprecationWarning, match="n_probe"):
+            d_dep, i_dep = idx.knn_search(X[0], 3, n_probe=8)
+        wide = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4, n_probe=8).fit(X)
+        d_new, i_new = wide.knn_search(X[0], 3)
+        np.testing.assert_array_equal(i_dep, i_new)
+        np.testing.assert_allclose(d_dep, d_new)
 
     def test_len(self, corpus):
         X, *_ = corpus

@@ -157,6 +157,38 @@ class TestSearchReportDefaults:
 
         assert CoreSearchReport is SearchReport
 
+    def test_load_metrics_default_to_none(self):
+        rep = SearchReport(total_seconds=1.0, n_queries=5, tasks=0)
+        assert rep.core_busy_seconds is None
+        assert rep.queue_depth_timeline is None
+        assert rep.imbalance_factor == 1.0  # no data -> perfectly balanced
+
+    def test_imbalance_factor_is_max_over_mean(self):
+        rep = SearchReport(
+            total_seconds=1.0, n_queries=5, tasks=0,
+            core_busy_seconds=np.array([1.0, 2.0, 3.0]),
+        )
+        assert rep.imbalance_factor == pytest.approx(3.0 / 2.0)
+        idle = SearchReport(
+            total_seconds=1.0, n_queries=5, tasks=0,
+            core_busy_seconds=np.zeros(3),
+        )
+        assert idle.imbalance_factor == 1.0
+
+
+class TestLoadMetricsPopulated:
+    def test_every_query_mode_reports_core_busy(self):
+        X, Q = _dataset(seed=19, n=300)
+        for kw in ({}, {"one_sided": False}, {"owner_strategy": "multiple"}):
+            cfg = SystemConfig(n_cores=4, cores_per_node=2, seed=3, **kw)
+            ann = DistributedANN(cfg)
+            ann.fit(X)
+            _, _, rep = ann.query(Q, k=5)
+            assert rep.core_busy_seconds is not None, kw
+            assert rep.core_busy_seconds.shape == (4,)
+            assert rep.core_busy_seconds.sum() > 0
+            assert np.isfinite(rep.imbalance_factor)
+
 
 class TestAddPointsBatching:
     def test_batched_insert_matches_single_inserts(self):

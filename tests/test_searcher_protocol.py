@@ -1,0 +1,108 @@
+"""Conformance tests for the unified :class:`repro.protocols.Searcher` surface.
+
+Every in-memory backend — production HNSW, the reference HNSW oracle, and
+the KD-tree / VP-tree / LSH / IVF-PQ baselines — must satisfy the same
+structural protocol: ``knn_search(q, k)`` and a padded ``knn_search_batch``
+whose rows agree with the single-query call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import sample_queries, sift_like
+from repro.hnsw import HnswIndex, HnswParams
+from repro.hnsw.reference import ReferenceHnswIndex
+from repro.kdtree import KDTree
+from repro.lsh import LSHIndex
+from repro.pq import IVFPQIndex
+from repro.protocols import Searcher, batch_from_single
+from repro.vptree import VPTree
+
+DIM = 24
+
+
+def _build_hnsw(X):
+    idx = HnswIndex(dim=DIM, params=HnswParams(M=8, ef_construction=40, seed=11))
+    idx.add_items(X)
+    return idx
+
+
+def _build_reference(X):
+    idx = ReferenceHnswIndex(dim=DIM, params=HnswParams(M=8, ef_construction=40, seed=11))
+    idx.add_items(X)
+    return idx
+
+
+BACKENDS = {
+    "hnsw": _build_hnsw,
+    "reference_hnsw": _build_reference,
+    "kdtree": lambda X: KDTree(X, leaf_size=16),
+    "vptree": lambda X: VPTree(X, leaf_size=16, seed=11),
+    "lsh": lambda X: LSHIndex(n_tables=12, n_bits=8, seed=11).fit(X),
+    "ivfpq": lambda X: IVFPQIndex(
+        n_cells=8, n_subspaces=4, n_centroids=32, seed=11, n_probe=8
+    ).fit(X),
+}
+
+
+@pytest.fixture(scope="module")
+def data():
+    X = sift_like(400, dim=DIM, seed=21)
+    Q = sample_queries(X, 8, noise_scale=0.05, seed=22)
+    return X, Q
+
+
+@pytest.fixture(scope="module", params=sorted(BACKENDS), ids=sorted(BACKENDS))
+def backend(request, data):
+    X, _ = data
+    return BACKENDS[request.param](X)
+
+
+class TestSearcherConformance:
+    def test_isinstance_of_protocol(self, backend):
+        assert isinstance(backend, Searcher)
+
+    def test_single_query_shape(self, backend, data):
+        _, Q = data
+        d, ids = backend.knn_search(Q[0], 5)
+        assert len(d) == len(ids) <= 5
+        assert np.all(np.diff(d) >= 0)  # closest first
+
+    def test_batch_shape_and_padding(self, backend, data):
+        _, Q = data
+        D, ids = backend.knn_search_batch(Q, 5)
+        assert D.shape == ids.shape == (len(Q), 5)
+        # padding (if any) is inf/-1 and trails the real results
+        for row in range(len(Q)):
+            pad = ids[row] == -1
+            assert np.all(np.isinf(D[row][pad]))
+            if pad.any():
+                first = int(np.argmax(pad))
+                assert pad[first:].all()
+
+    def test_batch_rows_agree_with_single(self, backend, data):
+        _, Q = data
+        D, ids = backend.knn_search_batch(Q, 5)
+        for row in range(len(Q)):
+            d1, i1 = backend.knn_search(Q[row], 5)
+            np.testing.assert_array_equal(ids[row, : len(i1)], i1)
+            np.testing.assert_allclose(D[row, : len(d1)], d1)
+
+
+class TestBatchFromSingle:
+    def test_pads_short_results(self):
+        def fake(q, k):
+            return np.array([1.0]), np.array([42], dtype=np.int64)
+
+        D, ids = batch_from_single(fake, np.zeros((3, 2)), 4)
+        assert D.shape == ids.shape == (3, 4)
+        np.testing.assert_array_equal(ids[:, 0], 42)
+        assert np.all(ids[:, 1:] == -1)
+        assert np.all(np.isinf(D[:, 1:]))
+
+    def test_empty_query_matrix(self):
+        D, ids = batch_from_single(lambda q, k: (np.empty(0), np.empty(0)), np.zeros((0, 2)), 3)
+        assert D.shape == ids.shape == (0, 3)
+
+    def test_non_searcher_rejected(self):
+        assert not isinstance(object(), Searcher)
