@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test lint bench bench-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke examples faults-demo clean
+.PHONY: install test lint bench bench-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke bench-pipeline pipeline-smoke examples faults-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,19 @@ bench-loadbalance:
 loadbalance-smoke:
 	python benchmarks/bench_loadbalance.py --smoke --out BENCH_loadbalance_smoke.json
 	pytest tests/test_public_api.py -q
+
+# credit-window sweep under a Zipf-skewed workload; fails if a finite
+# window stops beating eager dispatch on makespan / peak queue depth at
+# the headline core count, if eager runs stop being bit-deterministic, if
+# any window changes answers, or if dispatch credits leak (trajectory
+# recorded in BENCH_pipeline.json)
+bench-pipeline:
+	python benchmarks/bench_pipeline.py
+
+# CI-sized variant plus the flow-control contract tests
+pipeline-smoke:
+	python benchmarks/bench_pipeline.py --smoke --out BENCH_pipeline_smoke.json
+	pytest tests/test_pipeline_dispatch.py -q
 
 # full evaluation-section reproduction (all tables + figures + ablations)
 bench-paper:

@@ -1,0 +1,339 @@
+"""Pipelined-dispatch benchmark: credit windows under a skewed workload.
+
+The scenario the coordinator refactor (``repro.core.coordinator``) is
+about: the eager master fires every task the moment it is routed, so under
+a Zipf-skewed workload the modeled queues grow to the whole batch while
+the dispatcher is blind to which replicas are drowning.  A finite
+``SystemConfig.dispatch_window`` caps tasks in flight per core; a workgroup
+that is out of credits is excluded from replica selection and a fully
+blocked dispatch consumes in-flight results until a credit returns —
+flow control doubles as load balancing.
+
+For each (cores, window) cell the harness runs the same fitted system and
+query batch and records:
+
+- the simulated makespan (``SearchReport.total_seconds``),
+- the peak modeled queue depth (max of ``queue_depth_timeline``),
+- the flow-control counters (peak in flight, credit stall time, leaks),
+- a SHA-256 checksum of (D, I) — windows reorder dispatch, never answers,
+  so results must be bit-identical across every window (and across repeat
+  eager runs, the golden contract).
+
+The headline numbers are the makespan improvement and peak-queue-depth
+reduction of the headline window over eager dispatch at the headline core
+count (>= 64 cores for the acceptance run); floors are enforced via
+``--min-improvement`` / ``--min-queue-reduction``.  Writes
+``BENCH_pipeline.json`` at the repo root with the same previous/history
+trajectory folding as ``bench_loadbalance.py``.
+
+Run via ``make bench-pipeline`` (full) or ``--smoke`` (CI size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from bench_loadbalance import (  # noqa: E402
+    fold_previous,
+    make_corpus,
+    results_checksum,
+    skewed_queries,
+)
+
+from repro.core import DistributedANN, SystemConfig  # noqa: E402
+from repro.hnsw import HnswParams  # noqa: E402
+
+#: keys every BENCH_pipeline.json must provide (CI's pipeline-smoke checks these)
+REQUIRED_KEYS = (
+    "schema",
+    "config",
+    "runs",
+    "headline.cores",
+    "headline.window",
+    "headline.eager_makespan",
+    "headline.windowed_makespan",
+    "headline.improvement",
+    "headline.eager_peak_queue",
+    "headline.windowed_peak_queue",
+    "headline.queue_depth_reduction",
+    "eager_deterministic",
+    "results_identical_across_windows",
+    "no_credits_leaked",
+)
+
+
+def build_system(args: argparse.Namespace, cores: int, window: int) -> DistributedANN:
+    return DistributedANN(
+        SystemConfig(
+            n_cores=cores,
+            cores_per_node=1,  # one worker per node: crisp per-core attribution
+            k=args.k,
+            n_probe=1,  # skew lands undiluted on the routed partition
+            hnsw=HnswParams(M=8, ef_construction=40, seed=args.seed),
+            replication_factor=min(args.replication, cores),
+            replica_selector="primary",  # flow control alone moves the needle
+            searcher="modeled",
+            modeled_search_seconds=args.task_seconds,
+            modeled_sample_points=64,
+            dispatch_window=window,
+            seed=args.seed,
+        )
+    )
+
+
+def run(args: argparse.Namespace) -> dict:
+    runs = []
+    checksums: dict[int, set] = {}
+    leaked = 0
+    eager_deterministic = True
+
+    for cores in args.cores:
+        X = make_corpus(args.n, args.dim, cores, args.seed)
+        # fit once per core count; the skewed batch targets the fitted
+        # partition layout and is identical across windows
+        ref = build_system(args, cores, 0)
+        ref.fit(X)
+        Q = skewed_queries(ref, args)
+
+        for window in args.windows:
+            ann = build_system(args, cores, window)
+            ann.fit(X)
+            D, ids, rep = ann.query(Q, k=args.k)
+            checksums.setdefault(cores, set()).add(results_checksum(D, ids))
+            leaked += rep.credits_leaked
+            runs.append(
+                {
+                    "cores": cores,
+                    "window": window,
+                    "makespan_s": round(rep.total_seconds, 6),
+                    "peak_queue_depth": round(
+                        float(rep.queue_depth_timeline[:, 1].max()), 1
+                    ),
+                    "max_outstanding_tasks": int(rep.max_outstanding_tasks),
+                    "credit_stall_ms": round(rep.credit_stall_seconds * 1e3, 3),
+                    "credits_leaked": int(rep.credits_leaked),
+                    "imbalance_factor": round(rep.imbalance_factor, 4),
+                    "results_sha256": results_checksum(D, ids),
+                }
+            )
+        # golden contract: a repeat eager run is bit-identical
+        again = build_system(args, cores, 0)
+        again.fit(X)
+        D2, I2, rep2 = again.query(Q, k=args.k)
+        eager_row = next(
+            r for r in runs if r["cores"] == cores and r["window"] == 0
+        )
+        if (
+            results_checksum(D2, I2) != eager_row["results_sha256"]
+            or round(rep2.total_seconds, 6) != eager_row["makespan_s"]
+        ):
+            print(f"ERROR: eager run at {cores} cores is not deterministic", file=sys.stderr)
+            eager_deterministic = False
+
+    def cell(cores: int, window: int) -> dict:
+        return next(r for r in runs if r["cores"] == cores and r["window"] == window)
+
+    head_eager = cell(args.headline_cores, 0)
+    head_win = cell(args.headline_cores, args.headline_window)
+
+    return {
+        "schema": 1,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": {
+            "n": args.n,
+            "dim": args.dim,
+            "n_queries": args.n_queries,
+            "k": args.k,
+            "cores": list(args.cores),
+            "windows": list(args.windows),
+            "skew": args.skew,
+            "task_seconds": args.task_seconds,
+            "replication": args.replication,
+            "headline_cores": args.headline_cores,
+            "headline_window": args.headline_window,
+            "seed": args.seed,
+        },
+        "runs": runs,
+        "headline": {
+            "cores": args.headline_cores,
+            "window": args.headline_window,
+            "eager_makespan": head_eager["makespan_s"],
+            "windowed_makespan": head_win["makespan_s"],
+            "improvement": round(
+                head_eager["makespan_s"] / head_win["makespan_s"], 3
+            ),
+            "eager_peak_queue": head_eager["peak_queue_depth"],
+            "windowed_peak_queue": head_win["peak_queue_depth"],
+            "queue_depth_reduction": round(
+                head_eager["peak_queue_depth"]
+                / max(head_win["peak_queue_depth"], 1e-9),
+                2,
+            ),
+        },
+        "eager_deterministic": eager_deterministic,
+        # windows only change when tasks are sent and which replica serves
+        # them, so within each core count every window must agree
+        "results_identical_across_windows": all(
+            len(s) == 1 for s in checksums.values()
+        ),
+        "no_credits_leaked": leaked == 0,
+    }
+
+
+def _get(report: dict, dotted: str):
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def validate(report: dict) -> list[str]:
+    """Names of REQUIRED_KEYS missing from ``report``."""
+    return [key for key in REQUIRED_KEYS if _get(report, key) is None]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description="Credit-windowed dispatch benchmark")
+    ap.add_argument("--n", type=int, default=4000, help="corpus size")
+    ap.add_argument("--dim", type=int, default=16)
+    ap.add_argument("--n-queries", type=int, default=600, dest="n_queries")
+    ap.add_argument("--k", type=int, default=10)
+    ap.add_argument(
+        "--cores", type=int, nargs="+", default=[16, 64], help="core counts to sweep"
+    )
+    ap.add_argument(
+        "--windows",
+        type=int,
+        nargs="+",
+        default=[0, 1, 2, 4, 8],
+        help="dispatch windows to sweep (0 = eager)",
+    )
+    ap.add_argument("--skew", type=float, default=1.3, help="Zipf exponent of the workload")
+    ap.add_argument(
+        "--task-seconds",
+        type=float,
+        default=5e-3,
+        dest="task_seconds",
+        help="modeled virtual seconds per local search",
+    )
+    ap.add_argument("--replication", type=int, default=4)
+    ap.add_argument(
+        "--headline-cores",
+        type=int,
+        default=64,
+        dest="headline_cores",
+        help="core count the headline numbers are computed at",
+    )
+    ap.add_argument(
+        "--headline-window",
+        type=int,
+        default=4,
+        dest="headline_window",
+        help="dispatch window the headline numbers are computed at",
+    )
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default="BENCH_pipeline.json")
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke size (n=1200, 200 queries, 16 cores, windows 0/2)",
+    )
+    ap.add_argument(
+        "--min-improvement",
+        type=float,
+        default=1.1,
+        dest="min_improvement",
+        help="exit non-zero if the headline makespan improvement falls below this",
+    )
+    ap.add_argument(
+        "--min-queue-reduction",
+        type=float,
+        default=4.0,
+        dest="min_queue_reduction",
+        help="exit non-zero if the headline peak-queue reduction falls below this",
+    )
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.n, args.n_queries = 1200, 200
+        args.cores, args.windows = [16], [0, 2]
+        args.headline_cores, args.headline_window = 16, 2
+
+    report = run(args)
+    report = fold_previous(report, args.out)
+
+    missing = validate(report)
+    if missing:
+        print(f"ERROR: benchmark report is missing keys: {missing}", file=sys.stderr)
+        return 2
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(
+        f"{'cores':>6} {'window':>7} {'makespan':>12} {'peak queue':>11} "
+        f"{'in flight':>10} {'stall':>10}"
+    )
+    for row in report["runs"]:
+        window = "eager" if row["window"] == 0 else str(row["window"])
+        print(
+            f"{row['cores']:>6} {window:>7} {row['makespan_s']:>11.4f}s "
+            f"{row['peak_queue_depth']:>11.1f} {row['max_outstanding_tasks']:>10} "
+            f"{row['credit_stall_ms']:>8.1f}ms"
+        )
+    head = report["headline"]
+    print(
+        f"window {head['window']} vs eager at {head['cores']} cores: "
+        f"{head['improvement']:.2f}x makespan, "
+        f"{head['queue_depth_reduction']:.1f}x flatter peak queue "
+        f"(skew={report['config']['skew']})"
+    )
+    if not report["eager_deterministic"]:
+        print("ERROR: eager runs are not bit-identical", file=sys.stderr)
+        return 4
+    if not report["results_identical_across_windows"]:
+        print("ERROR: dispatch windows changed search results", file=sys.stderr)
+        return 5
+    if not report["no_credits_leaked"]:
+        print("ERROR: dispatch credits leaked", file=sys.stderr)
+        return 6
+    print(f"wrote {args.out}")
+
+    if args.min_improvement is not None and head["improvement"] < args.min_improvement:
+        print(
+            f"ERROR: improvement {head['improvement']:.2f}x below floor "
+            f"{args.min_improvement}x",
+            file=sys.stderr,
+        )
+        return 3
+    if (
+        args.min_queue_reduction is not None
+        and head["queue_depth_reduction"] < args.min_queue_reduction
+    ):
+        print(
+            f"ERROR: queue reduction {head['queue_depth_reduction']:.1f}x below "
+            f"floor {args.min_queue_reduction}x",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

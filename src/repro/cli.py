@@ -195,6 +195,18 @@ def _print_load_summary(cfg, rep) -> None:
     print(f"load: selector {cfg.replica_selector!r}, {imbalance_stats(rep.core_busy_seconds)}")
 
 
+def _print_pipeline_summary(cfg, rep) -> None:
+    """Flow-control line, shown whenever dispatch is credit-windowed."""
+    if cfg.dispatch_window <= 0:
+        return
+    print(
+        f"pipeline: window {cfg.dispatch_window}/core, "
+        f"peak {rep.max_outstanding_tasks} in flight, "
+        f"credit stalls {rep.credit_stall_seconds*1e3:.2f} ms, "
+        f"{rep.credits_leaked} credits leaked"
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import DistributedANN, SystemConfig
     from repro.core.partition import Partition
@@ -213,6 +225,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         replication_factor=args.replication_factor,
         replica_selector=args.replica_selector,
         batch_size=args.batch_size,
+        dispatch_window=args.dispatch_window,
         seed=meta["seed"],
         # fault tolerance tracks per-task deadlines at the master, which
         # needs the two-sided result path
@@ -262,6 +275,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{rep.total_seconds*1e3:.2f} ms ({rep.throughput:,.0f} q/s)"
     )
     _print_load_summary(cfg, rep)
+    _print_pipeline_summary(cfg, rep)
     if fault_spec is not None:
         _print_fault_summary(rep)
     if any(v > 0 for v in rep.phase_breakdown.values()):
@@ -301,6 +315,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             replica_selector=args.replica_selector,
             skew=args.skew,
             batch_size=args.batch_size,
+            dispatch_window=args.dispatch_window,
             seed=args.seed,
             one_sided=fault_spec is None,
             fault_spec=fault_spec,
@@ -322,6 +337,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         meas.append((P, rep.total_seconds))
         print(f"P={P:5d}  virtual {rep.total_seconds:.4f}s")
         _print_load_summary(cfg, rep)
+        _print_pipeline_summary(cfg, rep)
         if fault_spec is not None:
             _print_fault_summary(rep)
     for row in speedup_table(meas):

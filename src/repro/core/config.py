@@ -99,6 +99,19 @@ class SystemConfig:
             "--batch-size", "queries per task message (per-partition dispatch batching)"
         ),
     )
+    #: credit-based dispatch flow control (see docs/pipelining.md): at most
+    #: ``dispatch_window`` tasks in flight per core; dispatch to a partition
+    #: whose whole workgroup is out of credits blocks (consuming in-flight
+    #: results) until a credit returns.  0 = eager unwindowed dispatch,
+    #: bit-identical to the pre-pipelining master.  Master-worker modes
+    #: only; a batch must fit one core's window (batch_size <= W).
+    dispatch_window: int = field(
+        default=0,
+        metadata=cli_option(
+            "--dispatch-window",
+            "max in-flight tasks per core (credit-based flow control; 0 = eager dispatch)",
+        ),
+    )
     replication_factor: int = field(
         default=1,
         metadata=cli_option("--replication", "workgroup replication factor r"),
@@ -200,6 +213,22 @@ class SystemConfig:
                 raise SimConfigError(
                     "batch_size > 1 is incompatible with fault injection: the "
                     "fault-tolerant dispatcher times out and retries per task"
+                )
+        if self.dispatch_window < 0:
+            raise SimConfigError(
+                f"dispatch_window must be >= 0, got {self.dispatch_window}"
+            )
+        if self.dispatch_window > 0:
+            if self.owner_strategy != "master":
+                raise SimConfigError(
+                    "dispatch_window > 0 requires owner_strategy='master': "
+                    "owner procs dispatch their query slices eagerly"
+                )
+            if self.batch_size > self.dispatch_window:
+                raise SimConfigError(
+                    f"batch_size ({self.batch_size}) must fit one core's credit "
+                    f"window (dispatch_window={self.dispatch_window}): a batch "
+                    "charges batch_size credits against a single core"
                 )
         if self.routing == "adaptive" and self.one_sided:
             raise SimConfigError(

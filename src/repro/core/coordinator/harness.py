@@ -1,0 +1,363 @@
+"""Fault-tolerant decoration of the coordinator pipeline.
+
+Timeout / retry / failover / suspicion dispatch (the PR-2 semantics)
+implemented *over* the same coordinator pieces the plain pipeline uses
+— :class:`Router` for routing, :class:`DispatchWindow.send_task` for
+every send (and so for every credit charge), :class:`ResultMerger.
+merge_payload` for every merge — rather than as a fork of them.  The
+harness owns only what is genuinely fault-specific: per-task deadlines,
+the expiry sweep, the retry/failover replica chain, suspicion, dedup,
+and the bounded shutdown drain.
+
+Flow control interplay (``dispatch_window > 0``):
+
+- a new task whose live replicas are all out of credits is *deferred*
+  (the collect loop re-tries it as credits free) rather than blocking —
+  the collect loop must keep consuming results to detect timeouts;
+- a timed-out attempt's credit is reclaimed before re-dispatch, so a
+  crashed worker cannot pin its workgroup's window (the leak the
+  ``credits_leaked`` counter guards);
+- the failover chain prefers replicas with spare credits but will
+  over-commit a window rather than abandon a task that still has
+  attempts left — fault recovery outranks flow control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.coordinator.merger import ResultMerger
+from repro.core.coordinator.report import MasterReport
+from repro.core.coordinator.router import Router
+from repro.core.coordinator.window import DispatchWindow
+from repro.core.messages import TAG_END, TAG_RESULT, TAG_THREAD_DONE
+from repro.core.replication import Workgroups
+from repro.core.results import GlobalResults
+from repro.faults.spec import FaultPolicy
+from repro.loadbalance import (
+    PrimarySelector,
+    ReplicaSelector,
+    derive_drain_timeout,
+    derive_task_timeout,
+)
+from repro.simmpi.engine import WAIT_TIMED_OUT, Context, Mailbox
+
+__all__ = ["FaultHarness"]
+
+
+class _ExcludeUnion:
+    """Lazy union of two ``exclude`` views (dead/tried sets + credit block)."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b) -> None:
+        self.a = a
+        self.b = b
+
+    def __contains__(self, core) -> bool:
+        return core in self.a or core in self.b
+
+
+class FaultHarness:
+    """One batch search's coordinator with deadline-driven re-dispatch.
+
+    Two-sided, approx-routed, unbatched (config validation enforces all
+    three).  Returns a :class:`MasterReport` from :meth:`run`, exactly
+    like the plain pipeline.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        router,
+        workgroups: Workgroups,
+        queries: np.ndarray,
+        results: GlobalResults,
+        node_mailboxes: list[Mailbox],
+        policy: FaultPolicy,
+        task_seconds_hint: float,
+        selector: ReplicaSelector | None = None,
+    ) -> None:
+        self.config = config
+        self.queries = queries
+        self.node_mailboxes = node_mailboxes
+        self.policy = policy
+        self.task_seconds_hint = task_seconds_hint
+        self.report = MasterReport(config.n_cores)
+        if selector is None:
+            selector = PrimarySelector(workgroups)
+        self.selector = selector
+        self.workgroups = selector.workgroups
+        self.router = Router(router, self.report, int(queries.shape[1]))
+        self.win = DispatchWindow(config, selector, self.report, node_mailboxes)
+        self.merger = ResultMerger(config, results, self.report, one_sided=False)
+        # -- dispatch state ---------------------------------------------------
+        self.pending: dict[tuple[int, int], dict] = {}
+        self.completed: set[tuple[int, int]] = set()
+        self.failed: set[tuple[int, int]] = set()
+        self.dead: set[int] = set()
+        #: new tasks waiting for a live replica with spare credits
+        #: (dispatch_window > 0 only; always empty with flow control off)
+        self.deferred: list[tuple[int, int]] = []
+        self.timeouts_by_core = np.zeros(config.n_cores, dtype=np.int64)
+        self.base_timeout = 0.0  # derived from the live network model in run()
+        self._ctx: Context | None = None  # bound by run()
+        self._unresolved: np.ndarray | None = None
+        self._latencies: np.ndarray | None = None
+        self._batch_start = 0.0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _exclude(self, base):
+        """``base`` extended with credit-starved cores when flow control
+        is on (plain ``base`` — bit-identical behaviour — when off)."""
+        if self.win.credits is None:
+            return base
+        return _ExcludeUnion(base, self.win.blocked(1))
+
+    def _resolve(self, query_id: int) -> None:
+        # a query is resolved when every routed task completed OR was
+        # abandoned — its latency is final even if degraded
+        self._unresolved[query_id] -= 1
+        if self._unresolved[query_id] == 0:
+            self._latencies[query_id] = self._ctx.now - self._batch_start
+
+    def _abandon(self, key: tuple[int, int]) -> None:
+        del self.pending[key]
+        self.failed.add(key)
+        self.report.failed_tasks += 1
+        self.win.release(key)  # an abandoned task must not hold its credit
+        self._resolve(key[0])
+
+    def _dispatch_new(self, ctx: Context, query_id: int, partition_id: int):
+        """First dispatch of a (query, partition) task, or its deferral."""
+        if self.win.credits is not None and not self.win.group_has_credit(
+            partition_id, 1, exclude=self.dead
+        ):
+            if any(
+                c not in self.dead
+                for c in self.workgroups.cores_for_partition(partition_id)
+            ):
+                # live replicas exist but their windows are full: park the
+                # task; the collect loop re-tries as credits come home
+                self.deferred.append((query_id, partition_id))
+                return
+        core = self.selector.pick(partition_id, ctx.now, exclude=self._exclude(self.dead))
+        if core is None:
+            self.failed.add((query_id, partition_id))
+            self.report.failed_tasks += 1
+            self._resolve(query_id)
+            return
+        state = {"core": core, "attempts": 1, "tried": {core}, "deadline": 0.0}
+        self.pending[(query_id, partition_id)] = state
+        with ctx.span("dispatch"):
+            yield from self.win.send_task(
+                ctx, query_id, partition_id, core, self.queries[query_id]
+            )
+        state["deadline"] = ctx.now + self.base_timeout
+
+    def _drain_deferred(self, ctx: Context):
+        """Re-try parked tasks; dispatch what credits now allow."""
+        still: list[tuple[int, int]] = []
+        parked, self.deferred = self.deferred, []
+        for query_id, partition_id in parked:
+            group = self.workgroups.cores_for_partition(partition_id)
+            if all(c in self.dead for c in group):
+                self.failed.add((query_id, partition_id))
+                self.report.failed_tasks += 1
+                self._resolve(query_id)
+                continue
+            if not self.win.group_has_credit(partition_id, 1, exclude=self.dead):
+                still.append((query_id, partition_id))
+                continue
+            core = self.selector.pick(
+                partition_id, ctx.now, exclude=self._exclude(self.dead)
+            )
+            state = {"core": core, "attempts": 1, "tried": {core}, "deadline": 0.0}
+            self.pending[(query_id, partition_id)] = state
+            with ctx.span("dispatch"):
+                yield from self.win.send_task(
+                    ctx, query_id, partition_id, core, self.queries[query_id]
+                )
+            state["deadline"] = ctx.now + self.base_timeout
+        self.deferred = still + self.deferred
+
+    def _handle_timeout(self, ctx: Context, key: tuple[int, int], struck: set[int]):
+        query_id, partition_id = key
+        state = self.pending[key]
+        core = state["core"]
+        # many tasks expiring together on one core are ONE piece of evidence
+        # (a single lost message batch), not many — strike each core at most
+        # once per expiry sweep, or a burst would kill the whole cluster
+        if core not in struck:
+            struck.add(core)
+            self.timeouts_by_core[core] += 1
+            if (
+                core not in self.dead
+                and self.timeouts_by_core[core] >= self.policy.suspect_after
+            ):
+                self.dead.add(core)
+                self.report.suspected_dead_cores.append(int(core))
+        if state["attempts"] >= self.policy.max_attempts:
+            self._abandon(key)
+            return
+        # reclaim the timed-out attempt's credit before re-picking: the
+        # replacement send charges its own, and a crashed core must never
+        # pin its workgroup's window (the credits_leaked invariant)
+        self.win.release(key)
+        # prefer an untried live replica with spare credits, then any live
+        # one, then anything: suspicion steers dispatch away from dead cores
+        # but never forfeits a task's remaining attempts (suspicion can be
+        # wrong — lossy links), and flow control yields to fault recovery
+        # (the last two levels may over-commit a window)
+        nxt = self.selector.pick(
+            partition_id, ctx.now, exclude=self._exclude(self.dead | state["tried"])
+        )
+        if nxt is None:
+            nxt = self.selector.pick(partition_id, ctx.now, exclude=self._exclude(self.dead))
+        if nxt is None:
+            nxt = self.selector.pick(partition_id, ctx.now, exclude=state["tried"])
+        if nxt is None:
+            nxt = self.selector.pick(partition_id, ctx.now)
+        state["attempts"] += 1
+        state["tried"].add(nxt)
+        span = "retry" if nxt == state["core"] else "failover"
+        if nxt == state["core"]:
+            self.report.retries += 1
+        else:
+            self.report.failovers += 1
+        state["core"] = nxt
+        with ctx.span(span):
+            yield from self.win.send_task(ctx, query_id, partition_id, nxt, self.queries[query_id])
+        state["deadline"] = ctx.now + self.base_timeout * self.policy.backoff ** (
+            state["attempts"] - 1
+        )
+
+    # -- the proc body -------------------------------------------------------
+
+    def run(self, ctx: Context):
+        """The fault-tolerant coordinator proc body.  Returns a
+        :class:`MasterReport`.
+
+        Same protocol as the two-sided approx path of the plain
+        pipeline, but every task carries a deadline derived from the
+        cost model; a task that misses it is re-dispatched — same core
+        (retry) or next live replica (failover) — with exponential
+        backoff, up to ``policy.max_attempts`` sends.  A core that
+        times out ``policy.suspect_after`` times is suspected dead.
+        Tasks with no live replica left are abandoned and surface as
+        per-query ``completeness`` < 1; the batch never hangs on a
+        crashed rank.  Late answers from abandoned tasks are still
+        merged (they only improve recall); answers for completed tasks
+        are dropped by (query, partition) dedup.
+        """
+        config, report, policy = self.config, self.report, self.policy
+        queries = self.queries
+        n_q = len(queries)
+        n_threads_total = config.n_nodes * config.threads_per_node
+        self._ctx = ctx
+        self._batch_start = ctx.now
+
+        # per-attempt deadline: the modeled service time scaled by a generous
+        # multiplier, plus a round trip — loose enough that fault-free runs
+        # never trip it, tight enough that a crashed rank is detected quickly
+        self.base_timeout = derive_task_timeout(policy, self.task_seconds_hint, ctx.network)
+
+        # -- route every query up front (approx routing) ---------------------
+        parts_per_query: list[list[int]] = []
+        for qid in range(n_q):
+            parts = yield from self.router.route_approx(ctx, queries[qid], config.n_probe)
+            report.fanouts.append(len(parts))
+            parts_per_query.append([int(p) for p in parts])
+
+        self._unresolved = np.array([len(p) for p in parts_per_query], dtype=np.int64)
+        self._latencies = np.full(n_q, np.nan)
+
+        # -- initial dispatch wave -------------------------------------------
+        for qid in range(n_q):
+            for pid_part in parts_per_query[qid]:
+                yield from self._dispatch_new(ctx, qid, pid_part)
+
+        # -- collect with deadlines ------------------------------------------
+        recv_req = None
+        while self.pending or self.deferred:
+            if self.deferred:
+                yield from self._drain_deferred(ctx)
+                if not self.pending:
+                    continue
+            if recv_req is None:
+                recv_req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
+            budget = max(min(s["deadline"] for s in self.pending.values()) - ctx.now, 0.0)
+            fired, payload = yield from ctx.wait_any([recv_req], timeout=budget)
+            if fired == WAIT_TIMED_OUT:
+                now = ctx.now
+                struck: set[int] = set()
+                for key in [kk for kk, s in self.pending.items() if s["deadline"] <= now]:
+                    yield from self._handle_timeout(ctx, key, struck)
+                continue
+            recv_req = None
+            _, qid, pid_part, d, ids = payload
+            key = (int(qid), int(pid_part))
+            if key in self.completed:
+                report.duplicate_results += 1
+                continue
+            with ctx.span("reduce"):
+                yield from self.merger.merge_payload(ctx, payload)
+            self.completed.add(key)
+            if key in self.failed:
+                self.failed.discard(key)  # late answer recovered an abandoned task
+            elif key in self.pending:
+                # the answering core is evidence of life: reset its suspicion
+                # so transient losses (lossy links, bursts of queueing) cannot
+                # snowball into the whole workgroup being declared dead
+                core = self.pending[key]["core"]
+                self.timeouts_by_core[core] = 0
+                self.dead.discard(core)
+                self.win.release(key)
+                del self.pending[key]
+                self._resolve(key[0])
+
+        if recv_req is not None:
+            yield from ctx.cancel(recv_req)
+
+        # -- bounded shutdown drain ------------------------------------------
+        # Rebroadcast "End of Queries" up to drain_rounds times, collecting
+        # thread-done notifications under a timeout each round.  Threads on
+        # crashed nodes never answer; giving up after the rounds keeps
+        # shutdown bounded (the remaining messages die with the simulation).
+        drain_timeout = derive_drain_timeout(policy, self.base_timeout, ctx.network)
+        got = 0
+        with ctx.span("drain"):
+            for _round in range(policy.drain_rounds):
+                for node in range(config.n_nodes):
+                    yield from ctx.send_to_mailbox(
+                        self.node_mailboxes[node],
+                        ("end",),
+                        source=ctx.pid,
+                        tag=TAG_END,
+                        nbytes=8,
+                        same_node=False,
+                    )
+                while got < n_threads_total:
+                    req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_THREAD_DONE)
+                    fired, _tdone = yield from ctx.wait_any([req], timeout=drain_timeout)
+                    if fired == WAIT_TIMED_OUT:
+                        yield from ctx.cancel(req)
+                        break
+                    got += 1
+                if got >= n_threads_total:
+                    break
+
+        n_parts = np.array([len(p) for p in parts_per_query], dtype=np.float64)
+        done_counts = np.zeros(n_q, dtype=np.float64)
+        for qid, _pid_part in self.completed:
+            done_counts[qid] += 1.0
+        report.completeness = np.where(
+            n_parts > 0, done_counts / np.maximum(n_parts, 1.0), 1.0
+        )
+        report.query_latencies = self._latencies
+        report.queue_depth_timeline = self.win.tracker.timeline()
+        report.max_outstanding_tasks = self.win.max_outstanding
+        report.credits_leaked = self.win.outstanding
+        return report

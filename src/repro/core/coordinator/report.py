@@ -1,0 +1,58 @@
+"""The per-coordinator measurement record.
+
+One :class:`MasterReport` per coordinator proc (the master, or each
+owner in the multiple-owner mode); the
+:class:`~repro.runtime.report.ReportBuilder` sums them into the public
+:class:`~repro.runtime.report.SearchReport`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MasterReport"]
+
+
+class MasterReport:
+    """What the coordinator learned during one batch (consumed by SearchReport)."""
+
+    def __init__(self, n_cores: int) -> None:
+        self.dispatch_counts = np.zeros(n_cores, dtype=np.int64)
+        self.tasks_sent = 0
+        #: task *messages* sent; equals ``tasks_sent`` at batch_size 1,
+        #: shrinks toward ``tasks_sent / batch_size`` as batching kicks in
+        self.batches_sent = 0
+        self.route_dist_evals = 0
+        self.fanouts: list[int] = []
+        #: per-query completion latency (virtual s from batch start to the
+        #: query's last result landing at the master); two-sided mode only —
+        #: in one-sided mode results bypass the master, so per-query
+        #: completion is unobservable there (None)
+        self.query_latencies: np.ndarray | None = None
+        # -- fault-tolerance accounting (zero / None on the plain paths) --
+        #: re-dispatches to the same core after a timeout
+        self.retries = 0
+        #: re-dispatches to a different replica after a timeout
+        self.failovers = 0
+        #: tasks abandoned with no live replica / attempts exhausted
+        self.failed_tasks = 0
+        #: late or duplicated results dropped by (query, partition) dedup
+        self.duplicate_results = 0
+        #: per-query fraction of routed partitions that answered (1.0 =
+        #: complete); None on the plain paths, where completion is all-or-hang
+        self.completeness: np.ndarray | None = None
+        #: cores the dispatcher declared dead after repeated timeouts
+        self.suspected_dead_cores: list[int] = []
+        #: (virtual time, total modeled queued tasks) samples from the
+        #: selector's LoadTracker (None without one); capped/downsampled —
+        #: see LoadTracker.max_timeline_samples
+        self.queue_depth_timeline: np.ndarray | None = None
+        # -- pipelined dispatch accounting (zeros at dispatch_window == 0) --
+        #: virtual seconds dispatch spent blocked waiting for credits
+        self.credit_stall_seconds = 0.0
+        #: peak tasks simultaneously in flight under credit accounting
+        self.max_outstanding_tasks = 0
+        #: credits still charged when the batch ended — a leak detector
+        #: (failover must reclaim a crashed worker's credits), always 0 on
+        #: a correct run
+        self.credits_leaked = 0

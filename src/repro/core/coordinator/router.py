@@ -1,0 +1,62 @@
+"""Routing with cost accounting, shared by every coordinator path.
+
+The coordinator routes each query through the VP-tree skeleton (or any
+object exposing ``route_approx`` / ``route_exact`` / ``n_dist_evals`` —
+the KD baseline router qualifies) and must charge the routing distance
+evaluations to the simulation clock under a ``route`` span.  Both master
+variants used to inline this triple (span, route, compute) — it lives
+here once now.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coordinator.report import MasterReport
+from repro.simmpi.engine import Context
+
+__all__ = ["Router"]
+
+
+class Router:
+    """VP-tree routing plus route-cost accounting for one batch.
+
+    Wraps the partition router and the batch's :class:`MasterReport`:
+    every call runs under a ``route`` span, charges
+    ``cost.distance_cost`` for exactly the distance evaluations the
+    inner router performed, and accumulates ``report.route_dist_evals``
+    — the same yield sequence the pre-refactor masters produced.
+    """
+
+    def __init__(self, inner, report: MasterReport, dim: int) -> None:
+        self.inner = inner
+        self.report = report
+        self.dim = dim
+
+    def _cost(self, ctx: Context, evals_before: int) -> float:
+        evals = self.inner.n_dist_evals - evals_before
+        self.report.route_dist_evals += evals
+        return ctx.cost.distance_cost(evals, self.dim)
+
+    def route_approx(self, ctx: Context, q: np.ndarray, n_probe: int):
+        """Best-first ``n_probe`` partitions for ``q`` (Alg. 3 line 4)."""
+        with ctx.span("route"):
+            before = self.inner.n_dist_evals
+            parts = self.inner.route_approx(q, n_probe)
+            yield from ctx.compute(self._cost(ctx, before), kind="route")
+        return parts
+
+    def route_exact(self, ctx: Context, q: np.ndarray, tau: float, drop=None):
+        """Exact ball route for the adaptive second wave.
+
+        ``drop`` removes the already-probed pilot partition from the
+        returned set (the distance evaluations are still charged — the
+        router visited them either way).
+        """
+        with ctx.span("route"):
+            before = self.inner.n_dist_evals
+            parts = self.inner.route_exact(q, tau)
+            if drop is not None:
+                parts = [p for p in parts if p != drop]
+            yield from ctx.compute(self._cost(ctx, before), kind="route")
+        return parts

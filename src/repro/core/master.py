@@ -1,20 +1,16 @@
 """Master-side search routine (paper Algorithms 3 and 5).
 
-The master routes every query through the VP-tree skeleton to its partition
-set F(q), dispatches one task per (query, partition) to a worker node —
-picking the replica with the configured :mod:`repro.loadbalance` selector
-when replication is on (Alg. 5's round-robin is the ``primary`` default) —
-then sends "End of Queries" to every node and collects results:
+The two master proc bodies are thin entry points over the composable
+:mod:`repro.core.coordinator` package — :class:`~repro.core.coordinator.
+pipeline.CoordinatorPipeline` for the fault-free modes,
+:class:`~repro.core.coordinator.harness.FaultHarness` for timeout /
+retry / failover dispatch.  Routing, flow-controlled dispatch, result
+merging, and the drain protocol live there, shared by both (see
+docs/pipelining.md for the coordinator architecture and the credit
+window's degeneracy-to-eager guarantee at ``dispatch_window = 0``).
 
-- two-sided: receives one result message per dispatched task and merges it
-  into :class:`~repro.core.results.GlobalResults` (Alg. 3's update loop);
-- one-sided: does *nothing* per task — workers accumulate straight into
-  the RMA window (Fig. 2) — and only waits for the per-thread completion
-  notifications before reading the window.
-
-Adaptive routing (two-sided only) pipelines two waves per query: a pilot
-task to the nearest partition, then — once the pilot's k-th distance is
-known — an exact ball route for the remaining partitions.
+:class:`MasterReport` is re-exported for compatibility (the
+multiple-owner coordinator and the report builder consume it).
 """
 
 from __future__ import annotations
@@ -22,59 +18,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import SystemConfig
-from repro.core.messages import (
-    TAG_END,
-    TAG_RESULT,
-    TAG_TASK,
-    TAG_THREAD_DONE,
-    batch_task_nbytes,
-    make_batch_task,
-    make_task,
-    task_nbytes,
-)
+from repro.core.coordinator import CoordinatorPipeline, FaultHarness, MasterReport
 from repro.core.replication import Workgroups
 from repro.core.results import GlobalResults
 from repro.faults.spec import FaultPolicy
-from repro.loadbalance import PrimarySelector, ReplicaSelector
-from repro.simmpi.engine import WAIT_TIMED_OUT, Context, Mailbox
+from repro.loadbalance import ReplicaSelector
+from repro.simmpi.engine import Context, Mailbox
 from repro.vptree.router import PartitionRouter
 
 __all__ = ["master_program", "fault_tolerant_master_program", "MasterReport"]
-
-
-class MasterReport:
-    """What the master learned during one batch (consumed by SearchReport)."""
-
-    def __init__(self, n_cores: int) -> None:
-        self.dispatch_counts = np.zeros(n_cores, dtype=np.int64)
-        self.tasks_sent = 0
-        #: task *messages* sent; equals ``tasks_sent`` at batch_size 1,
-        #: shrinks toward ``tasks_sent / batch_size`` as batching kicks in
-        self.batches_sent = 0
-        self.route_dist_evals = 0
-        self.fanouts: list[int] = []
-        #: per-query completion latency (virtual s from batch start to the
-        #: query's last result landing at the master); two-sided mode only —
-        #: in one-sided mode results bypass the master, so per-query
-        #: completion is unobservable there (None)
-        self.query_latencies: np.ndarray | None = None
-        # -- fault-tolerance accounting (zero / None on the plain paths) --
-        #: re-dispatches to the same core after a timeout
-        self.retries = 0
-        #: re-dispatches to a different replica after a timeout
-        self.failovers = 0
-        #: tasks abandoned with no live replica / attempts exhausted
-        self.failed_tasks = 0
-        #: late or duplicated results dropped by (query, partition) dedup
-        self.duplicate_results = 0
-        #: per-query fraction of routed partitions that answered (1.0 =
-        #: complete); None on the plain paths, where completion is all-or-hang
-        self.completeness: np.ndarray | None = None
-        #: cores the dispatcher declared dead after repeated timeouts
-        self.suspected_dead_cores: list[int] = []
-        #: (virtual time, total modeled queued tasks) samples, one per
-        #: dispatch, from the selector's LoadTracker (None without one)
-        self.queue_depth_timeline: np.ndarray | None = None
 
 
 def master_program(
@@ -90,188 +42,17 @@ def master_program(
 ):
     """The master proc body.  Returns a :class:`MasterReport`.
 
+    ``window`` is the one-sided RMA results window (None = two-sided).
     ``selector`` picks the replica core of each task's target partition
     (see :mod:`repro.loadbalance`); None falls back to
     :class:`~repro.loadbalance.PrimarySelector`, the workgroup circular
     pointer every golden trace was recorded with.
     """
-    report = MasterReport(config.n_cores)
-    if selector is None:
-        selector = PrimarySelector(workgroups)
-    tracker = selector.tracker
-    k = config.k
-    one_sided = window is not None
-    n_threads_total = config.n_nodes * config.threads_per_node
-    batch_start = ctx.now
-    outstanding = np.zeros(len(queries), dtype=np.int64)
-    latencies = np.full(len(queries), np.nan)
-
-    def note_result(query_id: int) -> None:
-        outstanding[query_id] -= 1
-        if outstanding[query_id] == 0:
-            latencies[query_id] = ctx.now - batch_start
-
-    def dispatch(query_id: int, partition_id: int, qvec: np.ndarray):
-        with ctx.span("dispatch"):
-            core = selector.pick(partition_id, ctx.now)
-            tracker.record_dispatch(core, ctx.now)
-            report.dispatch_counts[core] += 1
-            report.tasks_sent += 1
-            report.batches_sent += 1
-            outstanding[query_id] += 1
-            node = config.node_of_core(core)
-            yield from ctx.send_to_mailbox(
-                node_mailboxes[node],
-                make_task(query_id, partition_id, qvec),
-                source=ctx.pid,
-                tag=TAG_TASK,
-                nbytes=task_nbytes(qvec),
-                same_node=False,
-            )
-
-    def dispatch_batch(query_ids: list[int], partition_id: int, qvecs: list[np.ndarray]):
-        """Ship B buffered queries for one partition as a single task message.
-
-        One workgroup round-robin step, one message, one worker-side
-        ``knn_search_batch``.  At B = 1 the wire bytes and send order are
-        identical to :func:`dispatch`, so batching is a pure message-count
-        knob — the batched-vs-unbatched golden tests pin this.
-        """
-        with ctx.span("dispatch"):
-            core = selector.pick(partition_id, ctx.now)
-            tracker.record_dispatch(core, ctx.now, n_tasks=len(query_ids))
-            report.dispatch_counts[core] += len(query_ids)
-            report.tasks_sent += len(query_ids)
-            report.batches_sent += 1
-            for qid in query_ids:
-                outstanding[qid] += 1
-            node = config.node_of_core(core)
-            Qb = np.stack(qvecs)
-            yield from ctx.send_to_mailbox(
-                node_mailboxes[node],
-                make_batch_task(query_ids, partition_id, Qb),
-                source=ctx.pid,
-                tag=TAG_TASK,
-                nbytes=batch_task_nbytes(Qb),
-                same_node=False,
-            )
-
-    def route_cost(parts_found_before: int):
-        evals = router.n_dist_evals - parts_found_before
-        report.route_dist_evals += evals
-        return ctx.cost.distance_cost(evals, queries.shape[1])
-
-    if config.routing == "approx":
-        # per-partition dispatch buffers: a partition's batch flushes as
-        # soon as it holds batch_size queries, and stragglers flush in
-        # partition order after the last query routes
-        batch = config.batch_size
-        buffers: dict[int, tuple[list[int], list[np.ndarray]]] = {}
-        for qid in range(len(queries)):
-            q = queries[qid]
-            with ctx.span("route"):
-                before = router.n_dist_evals
-                parts = router.route_approx(q, config.n_probe)
-                yield from ctx.compute(route_cost(before), kind="route")
-            report.fanouts.append(len(parts))
-            for pid_part in parts:
-                buf = buffers.get(pid_part)
-                if buf is None:
-                    buf = buffers[pid_part] = ([], [])
-                buf[0].append(qid)
-                buf[1].append(q)
-                if len(buf[0]) >= batch:
-                    del buffers[pid_part]
-                    yield from dispatch_batch(buf[0], pid_part, buf[1])
-        for pid_part in sorted(buffers):
-            qids_b, qvecs_b = buffers[pid_part]
-            yield from dispatch_batch(qids_b, pid_part, qvecs_b)
-        buffers.clear()
-        expected_results = 0 if one_sided else report.tasks_sent
-    else:  # adaptive, two-sided
-        pending_pilot: dict[int, int] = {}
-        for qid in range(len(queries)):
-            q = queries[qid]
-            with ctx.span("route"):
-                before = router.n_dist_evals
-                pilot = router.route_approx(q, 1)[0]
-                yield from ctx.compute(route_cost(before), kind="route")
-            pending_pilot[qid] = pilot
-            yield from dispatch(qid, pilot, q)
-        # every result triggers a merge; a *pilot* result additionally
-        # triggers the second-wave exact route with its k-th distance
-        expected = len(queries)
-        received = 0
-        while received < expected:
-            with ctx.span("reduce"):
-                req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
-                payload = yield from ctx.wait(req)
-                _, qid, _pid_part, d, ids = payload
-                yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
-                results.update(qid, d, ids)
-            note_result(qid)
-            received += 1
-            if qid in pending_pilot:
-                pilot = pending_pilot.pop(qid)
-                tau = float(d[k - 1]) if len(d) >= k else float("inf")
-                if np.isfinite(tau):
-                    with ctx.span("route"):
-                        before = router.n_dist_evals
-                        parts = [p for p in router.route_exact(queries[qid], tau) if p != pilot]
-                        yield from ctx.compute(route_cost(before), kind="route")
-                else:
-                    parts = [p for p in range(config.n_cores) if p != pilot]
-                report.fanouts.append(len(parts) + 1)
-                for pid_part in parts:
-                    yield from dispatch(qid, pid_part, queries[qid])
-                    expected += 1
-        expected_results = 0  # everything already collected
-
-    # End of Queries to every worker node (Alg. 3 lines 12-14)
-    with ctx.span("drain"):
-        for node in range(config.n_nodes):
-            yield from ctx.send_to_mailbox(
-                node_mailboxes[node],
-                ("end",),
-                source=ctx.pid,
-                tag=TAG_END,
-                nbytes=8,
-                same_node=False,
-            )
-
-    # collection loop (Alg. 3 lines 15-18); a "bresult" message settles a
-    # whole batch of (query, partition) rows at once
-    remaining = expected_results
-    while remaining:
-        with ctx.span("reduce"):
-            req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
-            payload = yield from ctx.wait(req)
-            if payload[0] == "bresult":
-                _, qids_b, _pid_part, ds, idss = payload
-                for qid, d, ids in zip(qids_b, ds, idss):
-                    yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
-                    results.update(qid, d, ids)
-            else:
-                _, qid, _pid_part, d, ids = payload
-                qids_b = [qid]
-                yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
-                results.update(qid, d, ids)
-        for qid in qids_b:
-            note_result(qid)
-        remaining -= len(qids_b)
-
-    # thread completion notifications: in one-sided mode this is what tells
-    # the master every Get_accumulate has landed; in two-sided mode it
-    # simply drains the exit messages
-    with ctx.span("drain"):
-        for _ in range(n_threads_total):
-            req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_THREAD_DONE)
-            yield from ctx.wait(req)
-
-    if not one_sided:
-        report.query_latencies = latencies
-    report.queue_depth_timeline = tracker.timeline()
-    return report
+    pipeline = CoordinatorPipeline(
+        config, router, workgroups, queries, results, node_mailboxes, window,
+        selector=selector,
+    )
+    return (yield from pipeline.run(ctx))
 
 
 def fault_tolerant_master_program(
@@ -288,217 +69,13 @@ def fault_tolerant_master_program(
 ):
     """Master proc body with timeout / retry / failover dispatch.
 
-    Same protocol as the two-sided approx path of :func:`master_program`,
-    but every (query, partition) task carries a deadline derived from the
-    cost model.  A task that misses its deadline is re-dispatched — to the
-    same core (retry) or, when the workgroup has live alternatives, to the
-    next replica (failover) — with exponential backoff, up to
-    ``policy.max_attempts`` sends.  A core that times out
-    ``policy.suspect_after`` times is suspected dead and excluded from
-    further dispatch.  Tasks with no live replica left are abandoned and
-    surface as per-query ``completeness`` < 1 in the report; the batch
-    never hangs on a crashed rank.  Late answers from abandoned tasks are
-    still merged (they only improve recall); answers for already-completed
-    tasks — late retries or link-level duplicates — are dropped by
-    (query, partition) dedup.  Returns a :class:`MasterReport`.
-
-    Replica selection composes with fault tolerance: suspicion and the
-    per-task tried set shrink the candidate pool through ``exclude``, and
-    the ``selector`` policy ranks the remaining live replicas — so a
-    least-loaded run keeps balancing across whatever survives.
+    Returns a :class:`MasterReport`; see
+    :class:`~repro.core.coordinator.harness.FaultHarness` for the
+    dispatch semantics (deadlines, suspicion, dedup, bounded drain) and
+    their interplay with flow control and replica selection.
     """
-    report = MasterReport(config.n_cores)
-    if selector is None:
-        selector = PrimarySelector(workgroups)
-    tracker = selector.tracker
-    k = config.k
-    n_q = len(queries)
-    n_threads_total = config.n_nodes * config.threads_per_node
-    batch_start = ctx.now
-
-    # per-attempt deadline: the modeled service time scaled by a generous
-    # multiplier, plus a round trip — loose enough that fault-free runs
-    # never trip it, tight enough that a crashed rank is detected quickly
-    rtt = 2.0 * (ctx.network.inter_latency + ctx.network.sw_overhead)
-    if policy.task_timeout is not None:
-        base_timeout = policy.task_timeout
-    else:
-        base_timeout = max(policy.timeout_multiplier * (task_seconds_hint + rtt), policy.min_timeout)
-
-    # -- route every query up front (approx routing) -------------------------
-    parts_per_query: list[list[int]] = []
-    for qid in range(n_q):
-        with ctx.span("route"):
-            before = router.n_dist_evals
-            parts = router.route_approx(queries[qid], config.n_probe)
-            evals = router.n_dist_evals - before
-            report.route_dist_evals += evals
-            yield from ctx.compute(ctx.cost.distance_cost(evals, queries.shape[1]), kind="route")
-        report.fanouts.append(len(parts))
-        parts_per_query.append([int(p) for p in parts])
-
-    unresolved = np.array([len(p) for p in parts_per_query], dtype=np.int64)
-    latencies = np.full(n_q, np.nan)
-    pending: dict[tuple[int, int], dict] = {}
-    completed: set[tuple[int, int]] = set()
-    failed: set[tuple[int, int]] = set()
-    dead: set[int] = set()
-    timeouts_by_core = np.zeros(config.n_cores, dtype=np.int64)
-
-    def resolve(query_id: int) -> None:
-        # a query is resolved when every routed task completed OR was
-        # abandoned — its latency is final even if degraded
-        unresolved[query_id] -= 1
-        if unresolved[query_id] == 0:
-            latencies[query_id] = ctx.now - batch_start
-
-    def send_task(query_id: int, partition_id: int, core: int):
-        tracker.record_dispatch(core, ctx.now)
-        report.dispatch_counts[core] += 1
-        report.tasks_sent += 1
-        report.batches_sent += 1
-        node = config.node_of_core(core)
-        yield from ctx.send_to_mailbox(
-            node_mailboxes[node],
-            make_task(query_id, partition_id, queries[query_id]),
-            source=ctx.pid,
-            tag=TAG_TASK,
-            nbytes=task_nbytes(queries[query_id]),
-            same_node=False,
-        )
-
-    def abandon(key: tuple[int, int]) -> None:
-        del pending[key]
-        failed.add(key)
-        report.failed_tasks += 1
-        resolve(key[0])
-
-    def handle_timeout(key: tuple[int, int], struck: set[int]):
-        query_id, partition_id = key
-        state = pending[key]
-        core = state["core"]
-        # many tasks expiring together on one core are ONE piece of evidence
-        # (a single lost message batch), not many — strike each core at most
-        # once per expiry sweep, or a burst would kill the whole cluster
-        if core not in struck:
-            struck.add(core)
-            timeouts_by_core[core] += 1
-            if core not in dead and timeouts_by_core[core] >= policy.suspect_after:
-                dead.add(core)
-                report.suspected_dead_cores.append(int(core))
-        if state["attempts"] >= policy.max_attempts:
-            abandon(key)
-            return
-        # prefer an untried live replica, then any live one, then anything:
-        # suspicion steers dispatch away from dead cores but never forfeits a
-        # task's remaining attempts (suspicion can be wrong — lossy links)
-        nxt = selector.pick(partition_id, ctx.now, exclude=dead | state["tried"])
-        if nxt is None:
-            nxt = selector.pick(partition_id, ctx.now, exclude=dead)
-        if nxt is None:
-            nxt = selector.pick(partition_id, ctx.now, exclude=state["tried"])
-        if nxt is None:
-            nxt = selector.pick(partition_id, ctx.now)
-        state["attempts"] += 1
-        state["tried"].add(nxt)
-        span = "retry" if nxt == state["core"] else "failover"
-        if nxt == state["core"]:
-            report.retries += 1
-        else:
-            report.failovers += 1
-        state["core"] = nxt
-        with ctx.span(span):
-            yield from send_task(query_id, partition_id, nxt)
-        state["deadline"] = ctx.now + base_timeout * policy.backoff ** (state["attempts"] - 1)
-
-    # -- initial dispatch wave -----------------------------------------------
-    for qid in range(n_q):
-        for pid_part in parts_per_query[qid]:
-            core = selector.pick(pid_part, ctx.now, exclude=dead)
-            if core is None:
-                failed.add((qid, pid_part))
-                report.failed_tasks += 1
-                resolve(qid)
-                continue
-            state = {"core": core, "attempts": 1, "tried": {core}, "deadline": 0.0}
-            pending[(qid, pid_part)] = state
-            with ctx.span("dispatch"):
-                yield from send_task(qid, pid_part, core)
-            state["deadline"] = ctx.now + base_timeout
-
-    # -- collect with deadlines ----------------------------------------------
-    recv_req = None
-    while pending:
-        if recv_req is None:
-            recv_req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
-        budget = max(min(s["deadline"] for s in pending.values()) - ctx.now, 0.0)
-        fired, payload = yield from ctx.wait_any([recv_req], timeout=budget)
-        if fired == WAIT_TIMED_OUT:
-            now = ctx.now
-            struck: set[int] = set()
-            for key in [kk for kk, s in pending.items() if s["deadline"] <= now]:
-                yield from handle_timeout(key, struck)
-            continue
-        recv_req = None
-        _, qid, pid_part, d, ids = payload
-        key = (int(qid), int(pid_part))
-        if key in completed:
-            report.duplicate_results += 1
-            continue
-        with ctx.span("reduce"):
-            yield from ctx.compute(ctx.cost.compare_cost(len(d) + k), kind="merge")
-            results.update(qid, d, ids)
-        completed.add(key)
-        if key in failed:
-            failed.discard(key)  # late answer recovered an abandoned task
-        elif key in pending:
-            # the answering core is evidence of life: reset its suspicion so
-            # transient losses (lossy links, bursts of queueing) cannot snowball
-            # into the whole workgroup being declared dead
-            core = pending[key]["core"]
-            timeouts_by_core[core] = 0
-            dead.discard(core)
-            del pending[key]
-            resolve(key[0])
-
-    if recv_req is not None:
-        yield from ctx.cancel(recv_req)
-
-    # -- bounded shutdown drain ----------------------------------------------
-    # Rebroadcast "End of Queries" up to drain_rounds times, collecting
-    # thread-done notifications under a timeout each round.  Threads on
-    # crashed nodes never answer; giving up after the rounds keeps shutdown
-    # bounded (the remaining messages die with the simulation).
-    drain_timeout = (
-        policy.drain_timeout if policy.drain_timeout is not None else max(base_timeout, 4.0 * rtt)
+    harness = FaultHarness(
+        config, router, workgroups, queries, results, node_mailboxes,
+        policy, task_seconds_hint, selector=selector,
     )
-    got = 0
-    with ctx.span("drain"):
-        for _round in range(policy.drain_rounds):
-            for node in range(config.n_nodes):
-                yield from ctx.send_to_mailbox(
-                    node_mailboxes[node],
-                    ("end",),
-                    source=ctx.pid,
-                    tag=TAG_END,
-                    nbytes=8,
-                    same_node=False,
-                )
-            while got < n_threads_total:
-                req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_THREAD_DONE)
-                fired, _tdone = yield from ctx.wait_any([req], timeout=drain_timeout)
-                if fired == WAIT_TIMED_OUT:
-                    yield from ctx.cancel(req)
-                    break
-                got += 1
-            if got >= n_threads_total:
-                break
-
-    n_parts = np.array([len(p) for p in parts_per_query], dtype=np.float64)
-    done_counts = np.zeros(n_q, dtype=np.float64)
-    for qid, _pid_part in completed:
-        done_counts[qid] += 1.0
-    report.completeness = np.where(n_parts > 0, done_counts / np.maximum(n_parts, 1.0), 1.0)
-    report.query_latencies = latencies
-    report.queue_depth_timeline = tracker.timeline()
-    return report
+    return (yield from harness.run(ctx))

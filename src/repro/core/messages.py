@@ -13,7 +13,10 @@ __all__ = [
     "TAG_END",
     "TAG_RESULT",
     "TAG_THREAD_DONE",
+    "TAG_CREDIT",
     "make_task",
+    "make_credit",
+    "credit_nbytes",
     "task_nbytes",
     "make_result",
     "result_nbytes",
@@ -31,6 +34,10 @@ TAG_END = 2
 TAG_RESULT = 3
 #: worker thread -> master: thread exited (one-sided completion detection)
 TAG_THREAD_DONE = 4
+#: worker thread -> master: dispatch-credit return for one-sided tasks
+#: (flow control only — sent when ``dispatch_window > 0``; on the
+#: two-sided path the result message itself is the credit)
+TAG_CREDIT = 5
 
 
 def make_task(query_id: int, partition_id: int, qvec: np.ndarray) -> tuple:
@@ -70,6 +77,21 @@ def make_batch_task(query_ids: list[int], partition_id: int, Q: np.ndarray) -> t
 def batch_task_nbytes(Q: np.ndarray) -> int:
     # query matrix + one id per row + partition id + header
     return int(Q.nbytes) + 8 * int(Q.shape[0]) + 16
+
+
+def make_credit(query_ids: list[int], partition_id: int) -> tuple:
+    """A worker's flow-control ack: its one-sided accumulates for these
+    (query, partition) tasks have landed, return their dispatch credits.
+
+    Only exists on the one-sided path with ``dispatch_window > 0`` —
+    two-sided results are their own credit return.
+    """
+    return ("credit", [int(q) for q in query_ids], int(partition_id))
+
+
+def credit_nbytes(n_tasks: int) -> int:
+    # one query id per settled task + partition id + header
+    return 8 * int(n_tasks) + 16
 
 
 def make_batch_result(

@@ -18,10 +18,13 @@ data partition") falls out of the message matching.
 from __future__ import annotations
 
 from repro.core.messages import (
+    TAG_CREDIT,
     TAG_RESULT,
     TAG_THREAD_DONE,
     batch_result_nbytes,
+    credit_nbytes,
     make_batch_result,
+    make_credit,
     make_result,
     result_nbytes,
 )
@@ -43,8 +46,16 @@ def worker_thread_program(
     master_mailbox: Mailbox,
     window: Window | None,
     reply_tag: int = TAG_RESULT,
+    send_credits: bool = False,
 ):
-    """One simulated OpenMP thread.  Returns (tasks_processed,)."""
+    """One simulated OpenMP thread.  Returns (tasks_processed,).
+
+    ``send_credits`` (one-sided + ``dispatch_window > 0`` only) makes the
+    thread follow each batch of ``Get_accumulate`` landings with a tiny
+    credit-ack message, giving the master's flow control the completion
+    signal one-sided results otherwise withhold; two-sided replies are
+    their own credit return.
+    """
     one_sided = window is not None
     if one_sided:
         yield from window.lock_shared(ctx)
@@ -83,6 +94,15 @@ def worker_thread_program(
                             yield from window.get_accumulate(
                                 ctx, qid, (d, ids), nbytes=result_nbytes(d, ids)
                             )
+                        if send_credits:
+                            yield from ctx.send_to_mailbox(
+                                master_mailbox,
+                                make_credit(query_ids, partition_id),
+                                source=ctx.pid,
+                                tag=TAG_CREDIT,
+                                nbytes=credit_nbytes(len(query_ids)),
+                                same_node=False,
+                            )
                     else:
                         yield from ctx.send_to_mailbox(
                             master_mailbox,
@@ -110,6 +130,15 @@ def worker_thread_program(
                     yield from window.get_accumulate(
                         ctx, query_id, (dists, ids), nbytes=result_nbytes(dists, ids)
                     )
+                    if send_credits:
+                        yield from ctx.send_to_mailbox(
+                            master_mailbox,
+                            make_credit([query_id], partition_id),
+                            source=ctx.pid,
+                            tag=TAG_CREDIT,
+                            nbytes=credit_nbytes(1),
+                            same_node=False,
+                        )
                 else:
                     yield from ctx.send_to_mailbox(
                         reply_to,

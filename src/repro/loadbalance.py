@@ -62,6 +62,8 @@ __all__ = [
     "PowerOfTwoChoicesSelector",
     "make_selector",
     "estimate_task_seconds",
+    "derive_task_timeout",
+    "derive_drain_timeout",
 ]
 
 #: the replica-selection policies ``SystemConfig.replica_selector`` accepts
@@ -78,19 +80,39 @@ class LoadTracker:
     ``task_cost_hint`` is the modeled virtual seconds of one local search
     (see :func:`estimate_task_seconds`); a dispatch may override it with a
     task-specific cost (e.g. ``B`` times the hint for a batch task).
+
+    The queue-depth timeline is bounded: once ``max_timeline_samples``
+    samples accumulate, the record is decimated 2:1 and the sampling
+    stride doubles, so an N-dispatch run keeps an evenly strided subset
+    of at most ``2 * max_timeline_samples`` samples (first-to-last
+    coverage preserved) instead of one sample per dispatch.  Pass None
+    to keep every sample.  See docs/load_balancing.md, "timeline
+    sampling".
     """
 
-    def __init__(self, n_cores: int, task_cost_hint: float) -> None:
+    def __init__(
+        self,
+        n_cores: int,
+        task_cost_hint: float,
+        max_timeline_samples: int | None = 4096,
+    ) -> None:
         if n_cores < 1:
             raise SimConfigError(f"n_cores must be >= 1, got {n_cores}")
+        if max_timeline_samples is not None and max_timeline_samples < 2:
+            raise SimConfigError(
+                f"max_timeline_samples must be >= 2 or None, got {max_timeline_samples}"
+            )
         self.n_cores = n_cores
         self.task_cost_hint = max(float(task_cost_hint), 1e-12)
+        self.max_timeline_samples = max_timeline_samples
         #: modeled virtual time each core stays busy through
         self.busy_until = np.zeros(n_cores, dtype=np.float64)
         #: tasks dispatched per core (the tracker's own count — matches the
         #: master report's dispatch_counts on the master-worker paths)
         self.dispatched = np.zeros(n_cores, dtype=np.int64)
         self._samples: list[tuple[float, float]] = []
+        self._events = 0
+        self._stride = 1
 
     def record_dispatch(
         self, core: int, now: float, n_tasks: int = 1, cost: float | None = None
@@ -99,7 +121,15 @@ class LoadTracker:
         c = self.task_cost_hint * n_tasks if cost is None else float(cost)
         self.busy_until[core] = max(self.busy_until[core], now) + c
         self.dispatched[core] += n_tasks
-        self._samples.append((now, self.total_queued(now)))
+        self._events += 1
+        if self._events % self._stride == 0:
+            self._samples.append((now, self.total_queued(now)))
+            if (
+                self.max_timeline_samples is not None
+                and len(self._samples) >= self.max_timeline_samples
+            ):
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
     def backlog(self, core: int, now: float) -> float:
         """Modeled seconds of queued work on ``core`` at virtual ``now``."""
@@ -256,3 +286,36 @@ def estimate_task_seconds(cfg, job) -> float:
         n = max(int(np.mean(sizes)), 1) if sizes else 1
     dim = job.Q.shape[1] if job.Q.ndim == 2 else 1
     return cfg.cost.hnsw_search_cost(n, dim, cfg.effective_ef_search, cfg.hnsw.M)
+
+
+def _network_rtt(network) -> float:
+    """The modeled master↔worker round trip (two inter-node hops)."""
+    return 2.0 * (network.inter_latency + network.sw_overhead)
+
+
+def derive_task_timeout(policy, task_seconds_hint: float, network) -> float:
+    """Per-attempt deadline of one fault-tolerant task dispatch.
+
+    The modeled service time (:func:`estimate_task_seconds`) plus a
+    round trip, scaled by ``policy.timeout_multiplier`` and floored at
+    ``policy.min_timeout`` — loose enough that fault-free runs never
+    trip it, tight enough that a crashed rank is detected quickly.  An
+    explicit ``policy.task_timeout`` overrides the derivation.  The one
+    shared implementation of the rule (coordinator fault harness and
+    any load-model consumer alike); the regression test pins its values.
+    """
+    if policy.task_timeout is not None:
+        return policy.task_timeout
+    return max(
+        policy.timeout_multiplier * (task_seconds_hint + _network_rtt(network)),
+        policy.min_timeout,
+    )
+
+
+def derive_drain_timeout(policy, base_timeout: float, network) -> float:
+    """Per-round deadline of the bounded shutdown drain (thread-done
+    collection): an explicit ``policy.drain_timeout``, else the task
+    deadline floored at four round trips."""
+    if policy.drain_timeout is not None:
+        return policy.drain_timeout
+    return max(base_timeout, 4.0 * _network_rtt(network))

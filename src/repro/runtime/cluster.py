@@ -33,6 +33,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.config import SystemConfig
+from repro.core.messages import TAG_RESULT
 from repro.core.partition import NodeStore
 from repro.core.replication import Workgroups
 from repro.core.results import GlobalResults
@@ -110,6 +111,10 @@ class ClusterRuntime:
             # threads fold onto the valid cores round-robin so the per-core
             # busy vector stays length n_cores with nothing dropped
             cores = range(node * cfg.cores_per_node, min((node + 1) * cfg.cores_per_node, cfg.n_cores))
+            # one-sided workers return dispatch credits only when the
+            # coordinator runs flow-controlled (two-sided results are their
+            # own credit return, so no extra traffic there)
+            send_credits = window is not None and cfg.dispatch_window > 0
             for t in range(cfg.threads_per_node):
                 pid = self.sim.add_proc(
                     worker_thread_program,
@@ -120,6 +125,8 @@ class ClusterRuntime:
                     done,
                     control_mailbox,
                     window,
+                    TAG_RESULT,
+                    send_credits,
                     node=node,
                     name=f"worker_n{node}_t{t}",
                 )

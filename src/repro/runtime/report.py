@@ -54,10 +54,20 @@ class SearchReport:
     #: node share a task queue, so with cores_per_node > 1 imbalance shows
     #: at node granularity.
     core_busy_seconds: np.ndarray | None = None
-    #: (virtual time, total modeled queued tasks) samples, one per dispatch,
-    #: from the master's LoadTracker — queue depth over virtual time; None
-    #: when no single dispatcher observed the whole batch
+    #: (virtual time, total modeled queued tasks) samples from the master's
+    #: LoadTracker — queue depth over virtual time; None when no single
+    #: dispatcher observed the whole batch.  One sample per dispatch on
+    #: small runs; capped/downsampled on large ones (see
+    #: LoadTracker.max_timeline_samples and docs/load_balancing.md)
     queue_depth_timeline: np.ndarray | None = None
+    # -- pipelined dispatch measurements (zeros at dispatch_window == 0) --
+    #: virtual seconds the coordinator spent blocked on dispatch credits
+    credit_stall_seconds: float = 0.0
+    #: peak tasks simultaneously in flight under credit accounting
+    max_outstanding_tasks: int = 0
+    #: dispatch credits still charged when the run ended — 0 on a correct
+    #: run (failover must reclaim a crashed worker's credits)
+    credits_leaked: int = 0
     #: elapsed virtual seconds per pipeline phase, summed over all procs —
     #: keys always include :data:`~repro.simmpi.trace.PHASES`
     phase_breakdown: dict = field(default_factory=dict)
@@ -218,6 +228,13 @@ class ReportBuilder:
             phase_breakdown=aggregate_spans(list(out.stats.values())),
             core_busy_seconds=self._core_busy(),
             queue_depth_timeline=timeline,
+            credit_stall_seconds=sum(
+                getattr(r, "credit_stall_seconds", 0.0) for r in creports
+            ),
+            max_outstanding_tasks=max(
+                getattr(r, "max_outstanding_tasks", 0) for r in creports
+            ),
+            credits_leaked=sum(getattr(r, "credits_leaked", 0) for r in creports),
             retries=sum(r.retries for r in creports),
             failovers=sum(r.failovers for r in creports),
             failed_tasks=sum(r.failed_tasks for r in creports),

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.master import fault_tolerant_master_program, master_program
+from repro.core.coordinator import CoordinatorPipeline, FaultHarness
 from repro.core.owner import owner_node_program
 from repro.faults.spec import FaultPolicy
 from repro.loadbalance import LoadTracker, estimate_task_seconds, make_selector
@@ -99,40 +99,39 @@ class MasterWorkerStrategy(DispatchStrategy):
         tracker = LoadTracker(cfg.n_cores, task_seconds)
         selector = make_selector(cfg.replica_selector, job.workgroups, tracker, seed=cfg.seed)
 
+        # the coordinator core (repro.core.coordinator): the plain pipeline
+        # and the fault harness share routing, windowed dispatch, and result
+        # merging; only deadline/retry handling differs between them
         if fault_tolerant:
             policy = cfg.fault_policy if cfg.fault_policy is not None else FaultPolicy()
 
             def master(ctx):
-                return (
-                    yield from fault_tolerant_master_program(
-                        ctx,
-                        cfg,
-                        job.router,
-                        job.workgroups,
-                        job.Q,
-                        job.results,
-                        rt.node_mailboxes,
-                        policy,
-                        task_seconds,
-                        selector=selector,
-                    )
+                harness = FaultHarness(
+                    cfg,
+                    job.router,
+                    job.workgroups,
+                    job.Q,
+                    job.results,
+                    rt.node_mailboxes,
+                    policy,
+                    task_seconds,
+                    selector=selector,
                 )
+                return (yield from harness.run(ctx))
         else:
 
             def master(ctx):
-                return (
-                    yield from master_program(
-                        ctx,
-                        cfg,
-                        job.router,
-                        job.workgroups,
-                        job.Q,
-                        job.results,
-                        rt.node_mailboxes,
-                        window_holder[0],
-                        selector=selector,
-                    )
+                pipeline = CoordinatorPipeline(
+                    cfg,
+                    job.router,
+                    job.workgroups,
+                    job.Q,
+                    job.results,
+                    rt.node_mailboxes,
+                    window_holder[0],
+                    selector=selector,
                 )
+                return (yield from pipeline.run(ctx))
 
         pid = rt.sim.add_proc(master, node=master_node, name="master")
         if cfg.one_sided:

@@ -104,6 +104,22 @@ class TestQuery:
         ids = read_ivecs(out)
         assert ids.shape == (20, 5)
 
+    def test_windowed_query_matches_eager(self, corpus_dir, index_dir, tmp_path, capsys):
+        """--dispatch-window reaches the engine and never changes answers."""
+        eager = tmp_path / "eager.ivecs"
+        windowed = tmp_path / "windowed.ivecs"
+        base = [
+            "query", str(index_dir), str(corpus_dir / "query.fvecs"),
+            "--k", "5", "--n-probe", "4",
+        ]
+        assert main(base + ["--out", str(eager)]) == 0
+        capsys.readouterr()
+        assert main(base + ["--out", str(windowed), "--dispatch-window", "2"]) == 0
+        printed = capsys.readouterr().out
+        assert "pipeline: window 2/core" in printed
+        assert "0 credits leaked" in printed
+        assert np.array_equal(read_ivecs(eager), read_ivecs(windowed))
+
     def test_saved_index_matches_fresh_results(self, corpus_dir, index_dir, tmp_path):
         """Round-tripping the index through disk must not change answers."""
         from repro.core import DistributedANN, SystemConfig
@@ -175,7 +191,29 @@ class TestConfigDerivedFlags:
 
     def test_loadbalance_knobs_are_tagged(self):
         names = {f.name for f, _ in self._tagged_fields()}
-        assert {"batch_size", "replication_factor", "replica_selector", "skew"} <= names
+        assert {
+            "batch_size",
+            "replication_factor",
+            "replica_selector",
+            "skew",
+            "dispatch_window",
+        } <= names
+
+    def test_every_tagged_flag_appears_in_help(self):
+        """Audit against CLI drift: each tagged field's flag must show up
+        in the --help text of every subcommand it declares."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        # the subparsers action is the only one with a choices dict
+        sub = next(a for a in parser._actions if a.choices)
+        for f, meta in self._tagged_fields():
+            for command in meta["commands"]:
+                help_text = sub.choices[command].format_help()
+                assert meta["flag"] in help_text, (
+                    f"{meta['flag']} (SystemConfig.{f.name}) missing from "
+                    f"`repro {command} --help`"
+                )
 
     def test_every_tagged_field_round_trips(self):
         import argparse
