@@ -1,6 +1,10 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test lint bench bench-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke bench-pipeline pipeline-smoke examples faults-demo clean
+.PHONY: install test lint bench bench-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke bench-pipeline pipeline-smoke bench-serving serving-smoke examples faults-demo clean
+
+# smoke artifacts are throwaway CI outputs — they land in .benchmarks/
+# (gitignored), never at the repo root next to the tracked trajectories
+SMOKE_DIR := .benchmarks
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,7 +22,8 @@ bench:
 
 # CI-sized variant: tiny corpus, fails if recall@10 drops below the floor
 bench-smoke:
-	python benchmarks/bench_hnsw.py --tiny --min-recall 0.95 --out BENCH_hnsw_smoke.json
+	mkdir -p $(SMOKE_DIR)
+	python benchmarks/bench_hnsw.py --tiny --min-recall 0.95 --out $(SMOKE_DIR)/BENCH_hnsw_smoke.json
 
 # replica-selector sweep under a Zipf-skewed workload; fails if the
 # least_loaded makespan improvement at the headline replication factor
@@ -28,7 +33,8 @@ bench-loadbalance:
 
 # CI-sized variant plus the public-API snapshot test
 loadbalance-smoke:
-	python benchmarks/bench_loadbalance.py --smoke --out BENCH_loadbalance_smoke.json
+	mkdir -p $(SMOKE_DIR)
+	python benchmarks/bench_loadbalance.py --smoke --out $(SMOKE_DIR)/BENCH_loadbalance_smoke.json
 	pytest tests/test_public_api.py -q
 
 # credit-window sweep under a Zipf-skewed workload; fails if a finite
@@ -41,8 +47,23 @@ bench-pipeline:
 
 # CI-sized variant plus the flow-control contract tests
 pipeline-smoke:
-	python benchmarks/bench_pipeline.py --smoke --out BENCH_pipeline_smoke.json
+	mkdir -p $(SMOKE_DIR)
+	python benchmarks/bench_pipeline.py --smoke --out $(SMOKE_DIR)/BENCH_pipeline_smoke.json
 	pytest tests/test_pipeline_dispatch.py -q
+
+# open-loop serving sweep: latency knee past the capacity point, cache
+# on/off tail + makespan improvement at Zipf skew >= 1.1, and bounded-queue
+# shedding; fails if serving or cache hits change answers, if the admission
+# ledger stops balancing, or if either headline improvement floor is missed
+# (trajectory recorded in BENCH_serving.json)
+bench-serving:
+	python benchmarks/bench_serving.py
+
+# CI-sized variant plus the serving contract tests
+serving-smoke:
+	mkdir -p $(SMOKE_DIR)
+	python benchmarks/bench_serving.py --smoke --out $(SMOKE_DIR)/BENCH_serving_smoke.json
+	pytest tests/test_serving.py -q
 
 # full evaluation-section reproduction (all tables + figures + ablations)
 bench-paper:

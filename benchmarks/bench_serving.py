@@ -1,0 +1,464 @@
+"""Open-loop serving benchmark: latency knee, admission, and the hot cache.
+
+The scenario the serving subsystem (``repro.serving``) is about: queries no
+longer arrive as one closed-loop batch but as an open-loop Poisson process
+on the virtual clock.  Below capacity the ingress queue stays empty and the
+arrival-to-completion p99 sits near pure service time; past the capacity
+knee the queue grows without bound and p99 rises with offered load.  A
+hot-query result cache (exact match on quantized query bytes) short-cuts
+the repeated queries of a Zipf-skewed workload, moving the knee to the
+right and cutting the tail.
+
+Three experiment groups share one fitted system and one hot query pool:
+
+- **rate sweep** — fixed system, rising Poisson rates; records p50/p99/p999
+  arrival-to-completion latency, mean queue/service split, and makespan.
+- **cache on/off** — an above-knee rate with the cache disabled vs. sized
+  to the hot pool; the answers must be bit-identical (cache hits replay the
+  stored rows) while p99 and makespan improve.
+- **overload** — a bounded ingress queue with ``shed_oldest`` under a
+  deliberately tight dispatch window; shows load shedding engaging and the
+  admission ledger (admitted + shed + rejected == offered) balancing.
+
+Also re-runs the same batch closed-loop (no arrival process) and checks the
+serving answers are bit-identical — arrivals reorder *when* queries are
+served, never what they answer.  Writes ``BENCH_serving.json`` at the repo
+root with the same previous/history folding as the other benchmarks.
+
+Run via ``make bench-serving`` (full) or ``--smoke`` (CI size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from bench_loadbalance import (  # noqa: E402
+    fold_previous,
+    make_corpus,
+    results_checksum,
+)
+
+from repro.core import DistributedANN, SystemConfig  # noqa: E402
+from repro.datasets import zipf_query_targets, zipf_queries  # noqa: E402
+from repro.eval import latency_stats, serving_stats  # noqa: E402
+from repro.hnsw import HnswParams  # noqa: E402
+
+#: keys every BENCH_serving.json must provide (CI's serving-smoke checks these)
+REQUIRED_KEYS = (
+    "schema",
+    "config",
+    "runs",
+    "headline.cores",
+    "headline.skew",
+    "headline.low_rate",
+    "headline.high_rate",
+    "headline.low_rate_p99_ms",
+    "headline.high_rate_p99_ms",
+    "headline.knee_p99_ratio",
+    "headline.cache_rate",
+    "headline.cache_off_p99_ms",
+    "headline.cache_on_p99_ms",
+    "headline.cache_p99_improvement",
+    "headline.cache_makespan_improvement",
+    "headline.cache_hit_rate",
+    "overload.offered",
+    "overload.admitted",
+    "overload.shed",
+    "overload.rejected",
+    "serving_matches_closed_loop",
+    "cache_results_identical",
+    "admission_accounted",
+)
+
+
+def build_system(
+    args: argparse.Namespace,
+    arrival: str | None,
+    cache_size: int = 0,
+    queue_depth: int = 0,
+    overload_policy: str = "block",
+    dispatch_window: int = 0,
+) -> DistributedANN:
+    return DistributedANN(
+        SystemConfig(
+            n_cores=args.cores,
+            cores_per_node=1,  # one worker per node: crisp per-core attribution
+            k=args.k,
+            n_probe=1,  # skew lands undiluted on the routed partition
+            hnsw=HnswParams(M=8, ef_construction=40, seed=args.seed),
+            searcher="modeled",
+            modeled_search_seconds=args.task_seconds,
+            modeled_sample_points=64,
+            one_sided=False,  # two-sided: per-query latency on every path
+            arrival=arrival,
+            cache_size=cache_size,
+            queue_depth=queue_depth,
+            overload_policy=overload_policy,
+            dispatch_window=dispatch_window,
+            seed=args.seed,
+        )
+    )
+
+
+def hot_pool_queries(ann: DistributedANN, args: argparse.Namespace) -> np.ndarray:
+    """Zipf repeats over a small pool of distinct queries.
+
+    ``zipf_queries`` jitters every draw independently, so no two queries are
+    ever byte-identical and an exact cache can never hit.  A serving cache
+    models *repeated* queries: draw a pool of distinct vectors once, then
+    index the pool with Zipf-distributed ranks so the hot entries recur.
+    """
+    anchors = np.stack(
+        [p.points.mean(axis=0) for _, p in sorted(ann.partitions.items()) if p.n_points]
+    )
+    perm = np.random.default_rng([args.seed, 0xFACE]).permutation(len(anchors))
+    pool = zipf_queries(
+        anchors[perm], args.pool, skew=0.0, compactness=0.02, seed=args.seed
+    )
+    ranks = zipf_query_targets(args.n_queries, args.pool, args.skew, seed=args.seed)
+    return np.ascontiguousarray(pool[ranks])
+
+
+def serving_row(label: str, arrival: str | None, rep, D, ids) -> dict:
+    row = {
+        "label": label,
+        "arrival": arrival,
+        "makespan_s": round(rep.total_seconds, 6),
+        "results_sha256": results_checksum(D, ids),
+    }
+    if arrival is not None:
+        s = serving_stats(rep)
+        lat = latency_stats(rep.query_latencies)
+        row.update(
+            {
+                "offered": s.offered,
+                "admitted": s.admitted,
+                "shed": s.shed,
+                "rejected": s.rejected,
+                "max_ingress_depth": s.max_ingress_depth,
+                "cache_hits": s.cache_hits,
+                "cache_misses": s.cache_misses,
+                "cache_hit_rate": round(s.cache_hit_rate, 4),
+                "p50_ms": round(lat.p50 * 1e3, 4),
+                "p99_ms": round(lat.p99 * 1e3, 4),
+                "p999_ms": round(lat.p999 * 1e3, 4),
+                "mean_queue_ms": round(s.mean_queue_seconds * 1e3, 4),
+                "mean_service_ms": round(s.mean_service_seconds * 1e3, 4),
+            }
+        )
+    return row
+
+
+def run(args: argparse.Namespace) -> dict:
+    X = make_corpus(args.n, args.dim, args.cores, args.seed)
+    ref = build_system(args, None)
+    ref.fit(X)
+    Q = hot_pool_queries(ref, args)
+
+    runs = []
+    accounted = True
+
+    def query(ann):
+        D, ids, rep = ann.query(Q, k=args.k)
+        nonlocal accounted
+        if rep.offered_queries:
+            accounted &= (
+                rep.admitted_queries + rep.shed_queries + rep.rejected_queries
+                == rep.offered_queries
+            )
+        return D, ids, rep
+
+    # golden: the same batch closed-loop (arrival process off)
+    D0, I0, rep0 = query(ref)
+    runs.append(serving_row("closed_loop", None, rep0, D0, I0))
+
+    # rate sweep: open loop, no cache, unbounded ingress — the latency knee
+    for rate in args.rates:
+        ann = build_system(args, f"poisson:{rate}")
+        ann.fit(X)
+        D, ids, rep = query(ann)
+        runs.append(serving_row(f"rate:{rate}", f"poisson:{rate}", rep, D, ids))
+
+    # cache on/off at an above-knee rate: identical answers, shorter tail
+    arrival = f"poisson:{args.cache_rate}"
+    off = build_system(args, arrival)
+    off.fit(X)
+    Doff, Ioff, rep_off = query(off)
+    runs.append(serving_row("cache_off", arrival, rep_off, Doff, Ioff))
+
+    on = build_system(args, arrival, cache_size=args.cache_size)
+    on.fit(X)
+    Don, Ion, rep_on = query(on)
+    runs.append(serving_row("cache_on", arrival, rep_on, Don, Ion))
+
+    # overload: bounded ingress + shed_oldest under a tight dispatch window
+    # (window 1 credit-blocks the head of line so the ingress queue backs up)
+    over = build_system(
+        args,
+        f"poisson:{args.overload_rate}",
+        queue_depth=args.queue_depth,
+        overload_policy="shed_oldest",
+        dispatch_window=1,
+    )
+    over.fit(X)
+    Dov, Iov, rep_ov = query(over)
+    runs.append(
+        serving_row("overload_shed", f"poisson:{args.overload_rate}", rep_ov, Dov, Iov)
+    )
+
+    def cell(label: str) -> dict:
+        return next(r for r in runs if r["label"] == label)
+
+    low, high = min(args.rates), max(args.rates)
+    low_row, high_row = cell(f"rate:{low}"), cell(f"rate:{high}")
+    off_row, on_row, ov_row = cell("cache_off"), cell("cache_on"), cell("overload_shed")
+
+    return {
+        "schema": 1,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": {
+            "n": args.n,
+            "dim": args.dim,
+            "n_queries": args.n_queries,
+            "pool": args.pool,
+            "k": args.k,
+            "cores": args.cores,
+            "skew": args.skew,
+            "task_seconds": args.task_seconds,
+            "rates": list(args.rates),
+            "cache_rate": args.cache_rate,
+            "cache_size": args.cache_size,
+            "overload_rate": args.overload_rate,
+            "queue_depth": args.queue_depth,
+            "seed": args.seed,
+        },
+        "runs": runs,
+        "headline": {
+            "cores": args.cores,
+            "skew": args.skew,
+            "low_rate": low,
+            "high_rate": high,
+            "low_rate_p99_ms": low_row["p99_ms"],
+            "high_rate_p99_ms": high_row["p99_ms"],
+            # how much the tail inflates when offered load crosses capacity
+            "knee_p99_ratio": round(high_row["p99_ms"] / low_row["p99_ms"], 2),
+            "cache_rate": args.cache_rate,
+            "cache_off_p99_ms": off_row["p99_ms"],
+            "cache_on_p99_ms": on_row["p99_ms"],
+            "cache_p99_improvement": round(off_row["p99_ms"] / on_row["p99_ms"], 3),
+            "cache_makespan_improvement": round(
+                off_row["makespan_s"] / on_row["makespan_s"], 3
+            ),
+            "cache_hit_rate": on_row["cache_hit_rate"],
+        },
+        "overload": {
+            "offered": ov_row["offered"],
+            "admitted": ov_row["admitted"],
+            "shed": ov_row["shed"],
+            "rejected": ov_row["rejected"],
+            "max_ingress_depth": ov_row["max_ingress_depth"],
+        },
+        # arrivals reorder when queries are served, never what they answer
+        "serving_matches_closed_loop": all(
+            cell(f"rate:{r}")["results_sha256"] == runs[0]["results_sha256"]
+            for r in args.rates
+        ),
+        "cache_results_identical": off_row["results_sha256"] == on_row["results_sha256"]
+        == runs[0]["results_sha256"],
+        "admission_accounted": accounted,
+    }
+
+
+def _get(report: dict, dotted: str):
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def validate(report: dict) -> list[str]:
+    """Names of REQUIRED_KEYS missing from ``report``."""
+    return [key for key in REQUIRED_KEYS if _get(report, key) is None]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description="Open-loop serving benchmark")
+    ap.add_argument("--n", type=int, default=4000, help="corpus size")
+    ap.add_argument("--dim", type=int, default=16)
+    ap.add_argument("--n-queries", type=int, default=600, dest="n_queries")
+    ap.add_argument(
+        "--pool",
+        type=int,
+        default=64,
+        help="distinct hot queries; Zipf ranks index this pool",
+    )
+    ap.add_argument("--k", type=int, default=10)
+    ap.add_argument("--cores", type=int, default=16)
+    ap.add_argument(
+        "--skew", type=float, default=1.2, help="Zipf exponent of the hot-pool ranks"
+    )
+    ap.add_argument(
+        "--task-seconds",
+        type=float,
+        default=5e-3,
+        dest="task_seconds",
+        help="modeled virtual seconds per local search",
+    )
+    ap.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[200, 800, 3200, 12800],
+        help="Poisson arrival rates (queries/s) for the knee sweep",
+    )
+    ap.add_argument(
+        "--cache-rate",
+        type=float,
+        default=3200,
+        dest="cache_rate",
+        help="arrival rate of the cache on/off comparison",
+    )
+    ap.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        dest="cache_size",
+        help="result-cache capacity of the cache-on run (>= --pool to hold it)",
+    )
+    ap.add_argument(
+        "--overload-rate",
+        type=float,
+        default=12800,
+        dest="overload_rate",
+        help="arrival rate of the bounded-queue shedding run",
+    )
+    ap.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        dest="queue_depth",
+        help="ingress bound of the shedding run",
+    )
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default="BENCH_serving.json")
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke size (n=1200, 200 queries, 8 cores, two rates)",
+    )
+    ap.add_argument(
+        "--min-knee-ratio",
+        type=float,
+        default=2.0,
+        dest="min_knee_ratio",
+        help="exit non-zero if p99 at the top rate is not this much worse than at the bottom",
+    )
+    ap.add_argument(
+        "--min-cache-improvement",
+        type=float,
+        default=1.1,
+        dest="min_cache_improvement",
+        help="exit non-zero if the cache's p99 improvement falls below this",
+    )
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.n, args.n_queries, args.pool = 1200, 200, 32
+        args.cores = 8
+        args.rates = [200, 6400]
+        args.cache_rate, args.cache_size = 6400, 32
+        args.overload_rate = 12800
+
+    report = run(args)
+    report = fold_previous(report, args.out)
+
+    missing = validate(report)
+    if missing:
+        print(f"ERROR: benchmark report is missing keys: {missing}", file=sys.stderr)
+        return 2
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(
+        f"{'run':>14} {'makespan':>11} {'p50':>9} {'p99':>9} {'queue':>8} "
+        f"{'hits':>5} {'shed':>5}"
+    )
+    for row in report["runs"]:
+        if row["arrival"] is None:
+            print(f"{row['label']:>14} {row['makespan_s']:>10.4f}s {'—':>9} {'—':>9}")
+            continue
+        print(
+            f"{row['label']:>14} {row['makespan_s']:>10.4f}s "
+            f"{row['p50_ms']:>7.2f}ms {row['p99_ms']:>7.2f}ms "
+            f"{row['max_ingress_depth']:>8} {row.get('cache_hits', 0):>5} "
+            f"{row.get('shed', 0):>5}"
+        )
+    head = report["headline"]
+    print(
+        f"knee: p99 {head['low_rate_p99_ms']:.2f}ms @ {head['low_rate']:g}/s -> "
+        f"{head['high_rate_p99_ms']:.2f}ms @ {head['high_rate']:g}/s "
+        f"({head['knee_p99_ratio']:.1f}x)"
+    )
+    print(
+        f"cache @ {head['cache_rate']:g}/s, skew={head['skew']}: "
+        f"p99 {head['cache_p99_improvement']:.2f}x better, "
+        f"makespan {head['cache_makespan_improvement']:.2f}x better, "
+        f"hit rate {head['cache_hit_rate']:.0%}"
+    )
+    ov = report["overload"]
+    print(
+        f"overload: offered {ov['offered']}, admitted {ov['admitted']}, "
+        f"shed {ov['shed']}, rejected {ov['rejected']}"
+    )
+    if not report["serving_matches_closed_loop"]:
+        print("ERROR: serving changed search results vs. closed loop", file=sys.stderr)
+        return 4
+    if not report["cache_results_identical"]:
+        print("ERROR: cache hits changed search results", file=sys.stderr)
+        return 5
+    if not report["admission_accounted"]:
+        print("ERROR: admission ledger does not balance", file=sys.stderr)
+        return 6
+    print(f"wrote {args.out}")
+
+    if args.min_knee_ratio is not None and head["knee_p99_ratio"] < args.min_knee_ratio:
+        print(
+            f"ERROR: knee ratio {head['knee_p99_ratio']:.2f}x below floor "
+            f"{args.min_knee_ratio}x",
+            file=sys.stderr,
+        )
+        return 3
+    if (
+        args.min_cache_improvement is not None
+        and head["cache_p99_improvement"] < args.min_cache_improvement
+    ):
+        print(
+            f"ERROR: cache p99 improvement {head['cache_p99_improvement']:.2f}x "
+            f"below floor {args.min_cache_improvement}x",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

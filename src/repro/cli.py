@@ -207,6 +207,48 @@ def _print_pipeline_summary(cfg, rep) -> None:
     )
 
 
+def _print_serving_summary(cfg, rep) -> None:
+    """Admission/cache/SLO lines, shown on open-loop serving runs."""
+    if cfg.arrival is None:
+        return
+    from repro.eval import serving_stats
+
+    s = serving_stats(rep)
+    print(
+        f"serving: arrival {cfg.arrival!r}, offered {s.offered}, "
+        f"admitted {s.admitted}, shed {s.shed}, rejected {s.rejected}, "
+        f"peak ingress queue {s.max_ingress_depth}"
+    )
+    if cfg.cache_size > 0:
+        print(
+            f"serving: cache {cfg.cache_size} entries, {s.cache_hits} hits / "
+            f"{s.cache_misses} misses / {s.cache_stale} stale "
+            f"({s.cache_hit_rate:.0%} hit rate)"
+        )
+    if cfg.slo_ms > 0:
+        print(
+            f"serving: SLO {cfg.slo_ms:g} ms, "
+            f"violation fraction {s.slo_violation_fraction:.2%} "
+            f"(mean queue {s.mean_queue_seconds*1e3:.3f} ms, "
+            f"mean service {s.mean_service_seconds*1e3:.3f} ms)"
+        )
+
+
+def _print_latency_summary(rep) -> None:
+    """Per-query latency percentiles, whenever they were observable."""
+    lat = rep.query_latencies
+    if lat is None or not np.any(np.isfinite(np.asarray(lat, dtype=np.float64))):
+        return
+    from repro.eval import latency_stats
+
+    ls = latency_stats(lat)
+    print(
+        f"latency: p50 {ls.p50*1e3:.3f} ms, p90 {ls.p90*1e3:.3f} ms, "
+        f"p99 {ls.p99*1e3:.3f} ms, p999 {ls.p999*1e3:.3f} ms, "
+        f"max {ls.max*1e3:.3f} ms ({ls.n} observed)"
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import DistributedANN, SystemConfig
     from repro.core.partition import Partition
@@ -226,10 +268,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         replica_selector=args.replica_selector,
         batch_size=args.batch_size,
         dispatch_window=args.dispatch_window,
+        arrival=args.arrival,
+        queue_depth=args.queue_depth,
+        overload_policy=args.overload_policy,
+        cache_size=args.cache_size,
+        slo_ms=args.slo_ms,
         seed=meta["seed"],
         # fault tolerance tracks per-task deadlines at the master, which
-        # needs the two-sided result path
-        one_sided=fault_spec is None,
+        # needs the two-sided result path; serving needs it too unless a
+        # credit window gives the master a one-sided completion signal
+        one_sided=fault_spec is None and (args.arrival is None or args.dispatch_window > 0),
         fault_spec=fault_spec,
     )
     ann = DistributedANN(cfg)
@@ -276,6 +324,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     _print_load_summary(cfg, rep)
     _print_pipeline_summary(cfg, rep)
+    _print_serving_summary(cfg, rep)
+    _print_latency_summary(rep)
     if fault_spec is not None:
         _print_fault_summary(rep)
     if any(v > 0 for v in rep.phase_breakdown.values()):
@@ -316,8 +366,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             skew=args.skew,
             batch_size=args.batch_size,
             dispatch_window=args.dispatch_window,
+            arrival=args.arrival,
+            queue_depth=args.queue_depth,
+            overload_policy=args.overload_policy,
+            cache_size=args.cache_size,
+            slo_ms=args.slo_ms,
             seed=args.seed,
-            one_sided=fault_spec is None,
+            one_sided=fault_spec is None
+            and (args.arrival is None or args.dispatch_window > 0),
             fault_spec=fault_spec,
         )
         ann = DistributedANN(cfg)
@@ -338,6 +394,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"P={P:5d}  virtual {rep.total_seconds:.4f}s")
         _print_load_summary(cfg, rep)
         _print_pipeline_summary(cfg, rep)
+        _print_serving_summary(cfg, rep)
+        _print_latency_summary(rep)
         if fault_spec is not None:
             _print_fault_summary(rep)
     for row in speedup_table(meas):
@@ -396,7 +454,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        from repro.simmpi.errors import SimConfigError
+
+        if isinstance(exc, (SimConfigError, ValueError)):
+            # configuration mistakes (incompatible mode combinations, bad
+            # arrival specs, ...) get one clear line instead of a traceback
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":

@@ -22,6 +22,8 @@ _ROUTINGS = ("approx", "adaptive")
 _OWNERS = ("master", "multiple")
 _SEARCHERS = ("real", "modeled")
 _SELECTORS = ("primary", "round_robin", "least_loaded", "power_of_two_choices")
+_OVERLOAD_POLICIES = ("block", "shed_oldest", "reject")
+_CACHE_MODES = ("exact", "near")
 
 
 def cli_option(
@@ -141,6 +143,61 @@ class SystemConfig:
             commands=("bench",),
         ),
     )
+    #: open-loop serving arrival process (see docs/serving.md): None = the
+    #: closed-loop batch (every query present at t = 0, bit-identical to the
+    #: pre-serving pipeline); ``"poisson:RATE"``, ``"burst:LOW:HIGH:PERIOD"``
+    #: or ``"trace:t1,t2,..."`` runs the search through the serving
+    #: coordinator, with queries arriving on the virtual clock.
+    arrival: str | None = field(
+        default=None,
+        metadata=cli_option(
+            "--arrival",
+            "open-loop arrival process: poisson:RATE, burst:LOW:HIGH:PERIOD "
+            "or trace:t1,t2,... (default: closed-loop batch)",
+            type=str,
+        ),
+    )
+    #: serving ingress queue bound (0 = unbounded); overload_policy decides
+    #: what happens to arrivals past the bound
+    queue_depth: int = field(
+        default=0,
+        metadata=cli_option(
+            "--queue-depth",
+            "serving ingress queue bound (0 = unbounded; needs --arrival)",
+        ),
+    )
+    #: what a full ingress queue does to new arrivals: ``"block"`` stops
+    #: consuming them (backpressure), ``"shed_oldest"`` drops the stalest
+    #: queued query, ``"reject"`` refuses the new arrival with a flag
+    overload_policy: str = field(
+        default="block",
+        metadata=cli_option(
+            "--overload-policy",
+            "full-ingress-queue policy (needs --arrival and --queue-depth)",
+            choices=_OVERLOAD_POLICIES,
+        ),
+    )
+    #: hot-query result cache capacity in entries (0 = cache off)
+    cache_size: int = field(
+        default=0,
+        metadata=cli_option(
+            "--cache-size",
+            "hot-query result cache capacity, entries (0 = off; needs --arrival)",
+        ),
+    )
+    #: cache key mode: ``"exact"`` (quantized query bytes — hits are
+    #: bit-identical to recomputation) or ``"near"`` (coarse quantizer
+    #: cell — near-duplicate queries share an answer, an approximation)
+    cache_mode: str = "exact"
+    #: SLO target for arrival-to-completion latency, milliseconds (0 = no
+    #: target; the violation fraction is only reported when set)
+    slo_ms: float = field(
+        default=0.0,
+        metadata=cli_option(
+            "--slo-ms",
+            "arrival-to-completion SLO target in ms (0 = none; needs --arrival)",
+        ),
+    )
     one_sided: bool = True
     owner_strategy: str = "master"
     searcher: str = "real"
@@ -252,6 +309,70 @@ class SystemConfig:
                 raise SimConfigError(
                     f"fault tolerance requires routing='approx', got {self.routing!r}"
                 )
+        if self.queue_depth < 0:
+            raise SimConfigError(f"queue_depth must be >= 0, got {self.queue_depth}")
+        if self.cache_size < 0:
+            raise SimConfigError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.slo_ms < 0:
+            raise SimConfigError(f"slo_ms must be >= 0, got {self.slo_ms}")
+        if self.overload_policy not in _OVERLOAD_POLICIES:
+            raise SimConfigError(
+                f"overload_policy must be one of {_OVERLOAD_POLICIES}, "
+                f"got {self.overload_policy!r}"
+            )
+        if self.cache_mode not in _CACHE_MODES:
+            raise SimConfigError(
+                f"cache_mode must be one of {_CACHE_MODES}, got {self.cache_mode!r}"
+            )
+        if self.arrival is not None:
+            # deferred import: serving's package root imports no core module,
+            # so this cannot cycle
+            from repro.serving.arrivals import parse_arrival_spec
+
+            try:
+                parse_arrival_spec(self.arrival)
+            except ValueError as exc:
+                raise SimConfigError(f"invalid arrival spec: {exc}") from None
+            if self.owner_strategy != "master":
+                raise SimConfigError(
+                    "open-loop serving requires owner_strategy='master': "
+                    "arrivals feed one coordinator's admission queue"
+                )
+            if self.routing != "approx":
+                raise SimConfigError(
+                    f"open-loop serving requires routing='approx', got {self.routing!r}"
+                )
+            if self.batch_size != 1:
+                raise SimConfigError(
+                    "open-loop serving requires batch_size=1: queries are "
+                    "served one at a time from the admission queue head"
+                )
+            if self.one_sided and self.dispatch_window == 0:
+                raise SimConfigError(
+                    "open-loop serving cannot observe per-query completion in "
+                    "one-sided mode without flow control: Get_accumulate "
+                    "results bypass the master entirely.  Set one_sided=False "
+                    "(two-sided results) or dispatch_window > 0 (credit acks "
+                    "give the master a per-task completion signal)"
+                )
+        else:
+            for name, value, default in (
+                ("queue_depth", self.queue_depth, 0),
+                ("overload_policy", self.overload_policy, "block"),
+                ("cache_size", self.cache_size, 0),
+                ("slo_ms", self.slo_ms, 0.0),
+            ):
+                if value != default:
+                    raise SimConfigError(
+                        f"{name}={value!r} needs an open-loop arrival process "
+                        "(set arrival=...); the closed-loop batch has no "
+                        "ingress queue, cache, or SLO clock"
+                    )
+        if self.overload_policy != "block" and self.queue_depth == 0:
+            raise SimConfigError(
+                f"overload_policy={self.overload_policy!r} requires "
+                "queue_depth > 0: an unbounded ingress queue never overloads"
+            )
 
     # -- derived topology ---------------------------------------------------
 

@@ -31,7 +31,7 @@ from repro.core.coordinator.merger import ResultMerger
 from repro.core.coordinator.report import MasterReport
 from repro.core.coordinator.router import Router
 from repro.core.coordinator.window import DispatchWindow
-from repro.core.messages import TAG_END, TAG_RESULT, TAG_THREAD_DONE
+from repro.core.messages import TAG_ARRIVE, TAG_END, TAG_RESULT, TAG_THREAD_DONE
 from repro.core.replication import Workgroups
 from repro.core.results import GlobalResults
 from repro.faults.spec import FaultPolicy
@@ -42,6 +42,7 @@ from repro.loadbalance import (
     derive_task_timeout,
 )
 from repro.simmpi.engine import WAIT_TIMED_OUT, Context, Mailbox
+from repro.simmpi.errors import SimError
 
 __all__ = ["FaultHarness"]
 
@@ -78,6 +79,7 @@ class FaultHarness:
         policy: FaultPolicy,
         task_seconds_hint: float,
         selector: ReplicaSelector | None = None,
+        serving=None,
     ) -> None:
         self.config = config
         self.queries = queries
@@ -106,6 +108,16 @@ class FaultHarness:
         self._unresolved: np.ndarray | None = None
         self._latencies: np.ndarray | None = None
         self._batch_start = 0.0
+        # -- open-loop serving composition (None on the closed-loop path) ----
+        #: :class:`~repro.serving.state.ServingState`; when set, queries
+        #: arrive over time and :meth:`run_serving` replaces :meth:`run`
+        self.serving = serving
+        self._parts_per_query: list[list[int]] | None = None
+        #: cache key per probed-and-missed query (serving + cache only)
+        self._serving_keys: dict[int, bytes] = {}
+        #: queries with at least one abandoned task — their (possibly
+        #: partial) results must never seed the cache
+        self._abandoned_queries: set[int] = set()
 
     # -- helpers -------------------------------------------------------------
 
@@ -122,11 +134,28 @@ class FaultHarness:
         self._unresolved[query_id] -= 1
         if self._unresolved[query_id] == 0:
             self._latencies[query_id] = self._ctx.now - self._batch_start
+            if self.serving is not None:
+                self._finish_serving(query_id)
+
+    def _finish_serving(self, query_id: int) -> None:
+        """Serving completion: stamp the timeline, maybe seed the cache."""
+        state = self.serving
+        state.timeline.note_complete(query_id, self._ctx.now)
+        key = self._serving_keys.pop(query_id, None)
+        if state.cache is None or key is None:
+            return
+        if query_id in self._abandoned_queries:
+            return  # a degraded answer must not be served to future hits
+        slot = self.merger.results[query_id]
+        if slot is not None:
+            d, ids = slot
+            state.cache.put(key, (d.copy(), ids.copy()))
 
     def _abandon(self, key: tuple[int, int]) -> None:
         del self.pending[key]
         self.failed.add(key)
         self.report.failed_tasks += 1
+        self._abandoned_queries.add(key[0])
         self.win.release(key)  # an abandoned task must not hold its credit
         self._resolve(key[0])
 
@@ -252,6 +281,8 @@ class FaultHarness:
         merged (they only improve recall); answers for completed tasks
         are dropped by (query, partition) dedup.
         """
+        if self.serving is not None:
+            return (yield from self.run_serving(ctx))
         config, report, policy = self.config, self.report, self.policy
         queries = self.queries
         n_q = len(queries)
@@ -357,6 +388,193 @@ class FaultHarness:
             n_parts > 0, done_counts / np.maximum(n_parts, 1.0), 1.0
         )
         report.query_latencies = self._latencies
+        report.queue_depth_timeline = self.win.tracker.timeline()
+        report.max_outstanding_tasks = self.win.max_outstanding
+        report.credits_leaked = self.win.outstanding
+        return report
+
+    # -- open-loop serving under faults --------------------------------------
+
+    def _serve_query(self, ctx: Context):
+        """Take the admission-queue head into service.
+
+        Cache probe first (a hit completes instantly at the master), then
+        route and dispatch every partition through :meth:`_dispatch_new` —
+        credit exhaustion defers rather than blocks, exactly as on the
+        closed-loop fault path, so the collect loop keeps sweeping
+        deadlines while a workgroup's window is full.
+        """
+        state = self.serving
+        qid = state.admission.begin_service()
+        state.timeline.note_dispatch(qid, ctx.now)
+        q = self.queries[qid]
+        cache = state.cache
+        if cache is not None:
+            key = cache.key(q)
+            row = cache.get(key)
+            if row is not None:
+                d, ids = row
+                self.merger.results[qid] = (d.copy(), ids.copy())
+                state.timeline.note_complete(qid, ctx.now)
+                self.report.fanouts.append(0)
+                return
+            self._serving_keys[qid] = key
+        parts = yield from self.router.route_approx(ctx, q, self.config.n_probe)
+        self.report.fanouts.append(len(parts))
+        self._parts_per_query[qid] = [int(p) for p in parts]
+        self._unresolved[qid] = len(parts)
+        for pid_part in self._parts_per_query[qid]:
+            yield from self._dispatch_new(ctx, qid, pid_part)
+
+    def run_serving(self, ctx: Context):
+        """The fault-tolerant coordinator under open-loop arrivals.
+
+        The closed-loop harness routes the whole batch up front; here a
+        query becomes work only when its ``TAG_ARRIVE`` lands and the
+        admission queue lets it through.  The collect loop waits on the
+        arrival receive *and* the result receive together, under the same
+        deadline budget, so timeout sweeps, retries, and failovers work
+        unchanged while queries trickle in.  Already-completed receives
+        are consumed in virtual-completion order, keeping the
+        arrival/result interleaving causal.
+        """
+        config, report, policy = self.config, self.report, self.policy
+        state = self.serving
+        adm = state.admission
+        n_q = len(self.queries)
+        n_threads_total = config.n_nodes * config.threads_per_node
+        self._ctx = ctx
+        self._batch_start = ctx.now
+        self.base_timeout = derive_task_timeout(policy, self.task_seconds_hint, ctx.network)
+        self._parts_per_query = [[] for _ in range(n_q)]
+        self._unresolved = np.zeros(n_q, dtype=np.int64)
+        self._latencies = np.full(n_q, np.nan)
+
+        recv_req = None
+        arrive_req = None
+        while state.consumed < n_q or adm.queue or self.pending or self.deferred:
+            while adm.queue:
+                yield from self._serve_query(ctx)
+            if self.deferred:
+                yield from self._drain_deferred(ctx)
+            if arrive_req is None and state.consumed < n_q and adm.accepting():
+                arrive_req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_ARRIVE)
+            if recv_req is None and self.pending:
+                recv_req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
+            waits = [r for r in (recv_req, arrive_req) if r is not None]
+            if not waits:
+                # deferred-only state: every credit is home, so the next
+                # sweep of _drain_deferred dispatches or fails each task
+                continue
+            done = [r for r in waits if r.done and not r.cancelled]
+            if done:
+                req = min(done, key=lambda r: r.completion_time)
+                payload = yield from ctx.wait(req)
+                fired_req = req
+            else:
+                budget = None
+                if self.pending:
+                    budget = max(
+                        min(s["deadline"] for s in self.pending.values()) - ctx.now, 0.0
+                    )
+                idx, payload = yield from ctx.wait_any(waits, timeout=budget)
+                if idx == WAIT_TIMED_OUT:
+                    now = ctx.now
+                    struck: set[int] = set()
+                    for key in [
+                        kk for kk, s in self.pending.items() if s["deadline"] <= now
+                    ]:
+                        yield from self._handle_timeout(ctx, key, struck)
+                    continue
+                fired_req = waits[idx]
+            if fired_req is arrive_req:
+                arrive_req = None
+                _, aqid, _t = payload
+                state.consumed += 1
+                outcome, dropped = adm.offer(int(aqid))
+                if outcome == "rejected":
+                    state.drop(int(aqid))
+                elif outcome == "shed":
+                    state.drop(dropped)
+                continue
+            recv_req = None
+            _, qid, pid_part, d, ids = payload
+            key = (int(qid), int(pid_part))
+            if key in self.completed:
+                report.duplicate_results += 1
+                continue
+            with ctx.span("reduce"):
+                yield from self.merger.merge_payload(ctx, payload)
+            self.completed.add(key)
+            if key in self.failed:
+                self.failed.discard(key)  # late answer recovered an abandoned task
+            elif key in self.pending:
+                core = self.pending[key]["core"]
+                self.timeouts_by_core[core] = 0
+                self.dead.discard(core)
+                self.win.release(key)
+                del self.pending[key]
+                self._resolve(key[0])
+
+        for r in (recv_req, arrive_req):
+            if r is not None:
+                yield from ctx.cancel(r)
+
+        # bounded shutdown drain, exactly as on the closed-loop path
+        drain_timeout = derive_drain_timeout(policy, self.base_timeout, ctx.network)
+        got = 0
+        with ctx.span("drain"):
+            for _round in range(policy.drain_rounds):
+                for node in range(config.n_nodes):
+                    yield from ctx.send_to_mailbox(
+                        self.node_mailboxes[node],
+                        ("end",),
+                        source=ctx.pid,
+                        tag=TAG_END,
+                        nbytes=8,
+                        same_node=False,
+                    )
+                while got < n_threads_total:
+                    req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_THREAD_DONE)
+                    fired, _tdone = yield from ctx.wait_any([req], timeout=drain_timeout)
+                    if fired == WAIT_TIMED_OUT:
+                        yield from ctx.cancel(req)
+                        break
+                    got += 1
+                if got >= n_threads_total:
+                    break
+
+        if not state.accounted():
+            raise SimError(
+                "serving admission ledgers do not cover the offered load: "
+                f"admitted {adm.admitted} + shed {adm.shed} + rejected "
+                f"{adm.rejected} != offered {state.offered}"
+            )
+
+        n_parts = np.array([len(p) for p in self._parts_per_query], dtype=np.float64)
+        done_counts = np.zeros(n_q, dtype=np.float64)
+        for qid, _pid_part in self.completed:
+            done_counts[qid] += 1.0
+        # cache hits and shed/rejected queries routed no partitions: they
+        # are complete by definition (served from cache) or never served
+        report.completeness = np.where(
+            n_parts > 0, done_counts / np.maximum(n_parts, 1.0), 1.0
+        )
+        report.query_latencies = state.timeline.latencies()
+        report.offered_queries = state.offered
+        report.admitted_queries = adm.admitted
+        report.shed_queries = adm.shed
+        report.rejected_queries = adm.rejected
+        report.max_ingress_depth = adm.max_depth_seen
+        cache = state.cache
+        if cache is not None:
+            report.cache_hits = cache.hits
+            report.cache_misses = cache.misses
+            report.cache_stale = cache.stale
+            report.cache_evictions = cache.evictions
+        report.arrival_times = state.timeline.arrival
+        report.dispatch_times = state.timeline.dispatch
+        report.complete_times = state.timeline.complete
         report.queue_depth_timeline = self.win.tracker.timeline()
         report.max_outstanding_tasks = self.win.max_outstanding
         report.credits_leaked = self.win.outstanding

@@ -74,6 +74,25 @@ class ResultMerger:
         self.results.update(qid, d, ids)
         return [(int(qid), d)], int(pid_part)
 
+    def settle_credit(self, payload, window) -> None:
+        """Settle one credit-ack payload: count the tasks done, return
+        their dispatch credits.  Pure bookkeeping — charges no time."""
+        _, qids_b, pid_part = payload
+        for qid in qids_b:
+            self.tasks_completed += 1
+            window.release((int(qid), int(pid_part)))
+
+    def finish_rows(self, rows, pid_part, window) -> None:
+        """Settle already-merged rows: credits back, completion hooks.
+        Pure bookkeeping — charges no time."""
+        for qid, d in rows:
+            self.tasks_completed += 1
+            window.release((qid, pid_part))
+            if self.note_result is not None:
+                self.note_result(qid)
+            if self.on_complete is not None:
+                self.on_complete(qid, pid_part, d)
+
     def consume_one(self, ctx: Context, window):
         """Receive and settle one in-flight message, releasing credits.
 
@@ -86,19 +105,10 @@ class ResultMerger:
             with ctx.span("reduce"):
                 req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_CREDIT)
                 payload = yield from ctx.wait(req)
-            _, qids_b, pid_part = payload
-            for qid in qids_b:
-                self.tasks_completed += 1
-                window.release((int(qid), int(pid_part)))
+            self.settle_credit(payload, window)
             return
         with ctx.span("reduce"):
             req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
             payload = yield from ctx.wait(req)
             rows, pid_part = yield from self.merge_payload(ctx, payload)
-        for qid, d in rows:
-            self.tasks_completed += 1
-            window.release((qid, pid_part))
-            if self.note_result is not None:
-                self.note_result(qid)
-            if self.on_complete is not None:
-                self.on_complete(qid, pid_part, d)
+        self.finish_rows(rows, pid_part, window)

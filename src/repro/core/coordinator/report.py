@@ -56,3 +56,24 @@ class MasterReport:
         #: (failover must reclaim a crashed worker's credits), always 0 on
         #: a correct run
         self.credits_leaked = 0
+        # -- open-loop serving accounting (zero / None in closed-loop runs) --
+        #: queries the arrival process offered to the ingress
+        self.offered_queries = 0
+        #: queries that entered service (includes cache hits)
+        self.admitted_queries = 0
+        #: queued queries dropped by the shed-oldest overload policy
+        self.shed_queries = 0
+        #: arrivals refused outright by the reject overload policy
+        self.rejected_queries = 0
+        #: peak ingress-queue occupancy
+        self.max_ingress_depth = 0
+        #: result-cache counters (zero when the cache is off)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stale = 0
+        self.cache_evictions = 0
+        #: per-query serving timestamps on the virtual clock (None in
+        #: closed-loop runs); NaN where a query was shed/rejected
+        self.arrival_times: np.ndarray | None = None
+        self.dispatch_times: np.ndarray | None = None
+        self.complete_times: np.ndarray | None = None

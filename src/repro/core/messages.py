@@ -14,6 +14,9 @@ __all__ = [
     "TAG_RESULT",
     "TAG_THREAD_DONE",
     "TAG_CREDIT",
+    "TAG_ARRIVE",
+    "make_arrival",
+    "arrival_nbytes",
     "make_task",
     "make_credit",
     "credit_nbytes",
@@ -38,6 +41,21 @@ TAG_THREAD_DONE = 4
 #: (flow control only — sent when ``dispatch_window > 0``; on the
 #: two-sided path the result message itself is the credit)
 TAG_CREDIT = 5
+#: arrival source -> master: a query arrived at the serving ingress
+#: (open-loop serving only — see repro.serving)
+TAG_ARRIVE = 6
+
+
+def make_arrival(query_id: int, arrival_time: float) -> tuple:
+    """An ingress notification: query ``query_id`` arrived at the client-
+    scheduled virtual time ``arrival_time`` (the timestamp SLO latency is
+    measured from)."""
+    return ("arrive", int(query_id), float(arrival_time))
+
+
+def arrival_nbytes() -> int:
+    # query id + timestamp + header
+    return 24
 
 
 def make_task(query_id: int, partition_id: int, qvec: np.ndarray) -> tuple:

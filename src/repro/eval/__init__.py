@@ -9,6 +9,7 @@ from repro.eval.availability import AvailabilityStats, availability_stats, degra
 from repro.eval.load import load_distribution, LoadStats, imbalance_stats, ImbalanceStats
 from repro.eval.scaling import speedup_table, ScalingRow
 from repro.eval.latency import latency_stats, LatencyStats
+from repro.eval.serving import serving_stats, ServingStats
 from repro.eval.reporting import format_table, format_histogram, format_phase_breakdown
 
 __all__ = [
@@ -25,6 +26,8 @@ __all__ = [
     "ScalingRow",
     "latency_stats",
     "LatencyStats",
+    "serving_stats",
+    "ServingStats",
     "format_table",
     "format_histogram",
     "format_phase_breakdown",

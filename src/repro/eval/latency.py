@@ -3,7 +3,8 @@
 The paper reports batch totals; per-query latency percentiles are the
 practitioner's complement (tail behaviour under load imbalance).  Only
 measurable in two-sided mode, where each query's last result is observed
-at the master.
+at the master — or in any open-loop serving run, where arrival-to-
+completion timestamps exist on both result paths.
 """
 
 from __future__ import annotations
@@ -24,14 +25,22 @@ class LatencyStats:
     p50: float
     p90: float
     p99: float
+    p999: float
     max: float
 
     def as_row(self) -> tuple:
-        return (self.n, self.mean, self.p50, self.p90, self.p99, self.max)
+        return (self.n, self.mean, self.p50, self.p90, self.p99, self.p999, self.max)
 
 
-def latency_stats(latencies: np.ndarray) -> LatencyStats:
+def latency_stats(latencies: np.ndarray | None) -> LatencyStats:
     """Reduce a latency vector (NaNs = unobserved queries are dropped)."""
+    if latencies is None:
+        raise ValueError(
+            "per-query latencies were not recorded — one-sided closed-loop "
+            "runs have no per-query completion signal at the master; use "
+            "two-sided results (one_sided=False) or an open-loop serving "
+            "run (arrival=...), where credit acks time each query"
+        )
     lat = np.asarray(latencies, dtype=np.float64)
     lat = lat[np.isfinite(lat)]
     if lat.size == 0:
@@ -45,5 +54,6 @@ def latency_stats(latencies: np.ndarray) -> LatencyStats:
         p50=float(np.percentile(lat, 50)),
         p90=float(np.percentile(lat, 90)),
         p99=float(np.percentile(lat, 99)),
+        p999=float(np.percentile(lat, 99.9)),
         max=float(lat.max()),
     )

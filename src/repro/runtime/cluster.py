@@ -135,7 +135,12 @@ class ClusterRuntime:
         out = self.sim.run()
         D, I = job.results.result_arrays()
         report = ReportBuilder(
-            out, strategy.coordinator_pids, len(Q), worker_cores=worker_cores
+            out,
+            strategy.coordinator_pids,
+            len(Q),
+            worker_cores=worker_cores,
+            aux_pids=getattr(strategy, "aux_pids", ()),
+            slo_target_seconds=cfg.slo_ms / 1e3,
         ).build()
         return D, I, report
 

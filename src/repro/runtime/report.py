@@ -90,6 +90,62 @@ class SearchReport:
     fault_events: tuple = ()
     #: pids killed by injected rank crashes
     crashed_pids: tuple = ()
+    # -- open-loop serving measurements (zeros / None on closed-loop runs) --
+    #: queries the arrival process offered to the serving ingress
+    offered_queries: int = 0
+    #: queries that entered service (includes cache hits)
+    admitted_queries: int = 0
+    #: queued queries dropped by the shed-oldest overload policy
+    shed_queries: int = 0
+    #: arrivals refused outright by the reject overload policy
+    rejected_queries: int = 0
+    #: peak ingress-queue occupancy during the run
+    max_ingress_depth: int = 0
+    #: hot-query result cache counters (zeros when the cache was off)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stale: int = 0
+    cache_evictions: int = 0
+    #: per-query serving timestamps on the virtual clock (None on
+    #: closed-loop runs; NaN entries for shed/rejected queries).  In
+    #: serving runs :attr:`query_latencies` is ``complete - arrival`` —
+    #: the arrival-to-completion latency the SLO is judged on.
+    arrival_times: np.ndarray | None = None
+    dispatch_times: np.ndarray | None = None
+    complete_times: np.ndarray | None = None
+    #: the run's SLO target in virtual seconds (0 = no target set)
+    slo_target_seconds: float = 0.0
+
+    @property
+    def queue_seconds(self) -> np.ndarray | None:
+        """Per-query time-in-queue (arrival to service start), serving only."""
+        if self.arrival_times is None or self.dispatch_times is None:
+            return None
+        return self.dispatch_times - self.arrival_times
+
+    @property
+    def service_seconds(self) -> np.ndarray | None:
+        """Per-query time-in-service (service start to completion), serving only."""
+        if self.dispatch_times is None or self.complete_times is None:
+            return None
+        return self.complete_times - self.dispatch_times
+
+    @property
+    def slo_violation_fraction(self) -> float:
+        """Fraction of *offered* queries that missed the SLO.
+
+        A query violates by completing slower than the target **or** by
+        never completing at all (shed / rejected) — a dropped query is a
+        violation from the client's side of the wire.  0.0 when no
+        target was set or the run was closed-loop.
+        """
+        if self.slo_target_seconds <= 0.0 or self.offered_queries == 0:
+            return 0.0
+        lat = self.query_latencies
+        late = 0
+        if lat is not None:
+            late = int(np.sum(lat[np.isfinite(lat)] > self.slo_target_seconds))
+        return (late + self.shed_queries + self.rejected_queries) / self.offered_queries
 
     @property
     def availability(self) -> float:
@@ -153,12 +209,19 @@ class ReportBuilder:
         coordinator_pids: list[int],
         n_queries: int,
         worker_cores: dict[int, int] | None = None,
+        aux_pids: tuple = (),
+        slo_target_seconds: float = 0.0,
     ) -> None:
         self.out = out
         self.coordinator_pids = list(coordinator_pids)
         self.n_queries = n_queries
         #: worker pid -> simulated core id, for the per-core busy vector
         self.worker_cores = dict(worker_cores) if worker_cores else {}
+        #: infrastructure procs (e.g. the serving arrival source) that are
+        #: neither coordinator nor worker: excluded from worker stats so an
+        #: arrival source idling between arrivals never skews the breakdown
+        self.aux_pids = set(aux_pids)
+        self.slo_target_seconds = float(slo_target_seconds)
 
     def _core_busy(self) -> np.ndarray | None:
         """Observed busy seconds per core: compute plus active send/recv/
@@ -179,7 +242,9 @@ class ReportBuilder:
         # a coordinator killed by an injected crash never returned a report
         creports = [r for r in (out.results[p] for p in self.coordinator_pids) if r is not None]
         coord_stats = [out.stats[p] for p in self.coordinator_pids]
-        worker_stats = [s for p, s in out.stats.items() if p not in coord]
+        worker_stats = [
+            s for p, s in out.stats.items() if p not in coord and p not in self.aux_pids
+        ]
 
         if not creports:  # every coordinator crashed: nothing was answered
             return SearchReport(
@@ -245,4 +310,25 @@ class ReportBuilder:
             completeness=completeness,
             fault_events=tuple(out.fault_events),
             crashed_pids=tuple(out.crashed_pids),
+            offered_queries=sum(getattr(r, "offered_queries", 0) for r in creports),
+            admitted_queries=sum(getattr(r, "admitted_queries", 0) for r in creports),
+            shed_queries=sum(getattr(r, "shed_queries", 0) for r in creports),
+            rejected_queries=sum(getattr(r, "rejected_queries", 0) for r in creports),
+            max_ingress_depth=max(
+                (getattr(r, "max_ingress_depth", 0) for r in creports), default=0
+            ),
+            cache_hits=sum(getattr(r, "cache_hits", 0) for r in creports),
+            cache_misses=sum(getattr(r, "cache_misses", 0) for r in creports),
+            cache_stale=sum(getattr(r, "cache_stale", 0) for r in creports),
+            cache_evictions=sum(getattr(r, "cache_evictions", 0) for r in creports),
+            arrival_times=(
+                getattr(creports[0], "arrival_times", None) if len(creports) == 1 else None
+            ),
+            dispatch_times=(
+                getattr(creports[0], "dispatch_times", None) if len(creports) == 1 else None
+            ),
+            complete_times=(
+                getattr(creports[0], "complete_times", None) if len(creports) == 1 else None
+            ),
+            slo_target_seconds=self.slo_target_seconds,
         )

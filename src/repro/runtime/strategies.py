@@ -27,6 +27,8 @@ from repro.core.coordinator import CoordinatorPipeline, FaultHarness
 from repro.core.owner import owner_node_program
 from repro.faults.spec import FaultPolicy
 from repro.loadbalance import LoadTracker, estimate_task_seconds, make_selector
+from repro.serving import ServingState, arrival_schedule, arrival_source_program
+from repro.serving.coordinator import ServingPipeline
 from repro.simmpi.comm import Comm
 from repro.simmpi.engine import Mailbox
 from repro.simmpi.rma import Window
@@ -58,6 +60,9 @@ class DispatchStrategy(ABC):
 
     #: pids of the coordinator procs, populated by :meth:`install`
     coordinator_pids: list[int]
+    #: pids of infrastructure procs that are neither coordinator nor worker
+    #: (e.g. the serving arrival source) — excluded from worker stats
+    aux_pids: tuple = ()
 
     @abstractmethod
     def install(self, rt: "ClusterRuntime", job: "SearchJob") -> None:
@@ -99,6 +104,23 @@ class MasterWorkerStrategy(DispatchStrategy):
         tracker = LoadTracker(cfg.n_cores, task_seconds)
         selector = make_selector(cfg.replica_selector, job.workgroups, tracker, seed=cfg.seed)
 
+        # open-loop serving: the arrival schedule and the master-side
+        # serving state (admission queue, cache, SLO timeline) are built
+        # here so both coordinator variants and the arrival source proc
+        # share one object; None keeps the closed-loop paths untouched
+        serving_state = None
+        if cfg.arrival is not None:
+            schedule = arrival_schedule(cfg.arrival, len(job.Q), seed=cfg.seed)
+            serving_state = ServingState(
+                schedule,
+                cfg.queue_depth,
+                cfg.overload_policy,
+                cache_size=cfg.cache_size,
+                cache_mode=cfg.cache_mode,
+                dim=int(job.Q.shape[1]),
+                seed=cfg.seed,
+            )
+
         # the coordinator core (repro.core.coordinator): the plain pipeline
         # and the fault harness share routing, windowed dispatch, and result
         # merging; only deadline/retry handling differs between them
@@ -116,8 +138,24 @@ class MasterWorkerStrategy(DispatchStrategy):
                     policy,
                     task_seconds,
                     selector=selector,
+                    serving=serving_state,
                 )
                 return (yield from harness.run(ctx))
+        elif serving_state is not None:
+
+            def master(ctx):
+                pipeline = ServingPipeline(
+                    cfg,
+                    job.router,
+                    job.workgroups,
+                    job.Q,
+                    job.results,
+                    rt.node_mailboxes,
+                    window_holder[0],
+                    serving_state,
+                    selector=selector,
+                )
+                return (yield from pipeline.run(ctx))
         else:
 
             def master(ctx):
@@ -145,6 +183,22 @@ class MasterWorkerStrategy(DispatchStrategy):
         self._window = window_holder[0]
         self._master_mailbox = rt.sim.mailbox_of(pid)
         self.coordinator_pids = [pid]
+
+        if serving_state is not None:
+            # the ingress frontend: replays the arrival schedule into the
+            # master's mailbox.  Registered right after the master (before
+            # any workers) so pid order — the engine's deterministic
+            # tie-break — stays stable; reported via aux_pids so its idle
+            # gaps never pollute the worker time breakdown
+            master_mailbox = self._master_mailbox
+
+            def arrivals(ctx):
+                yield from arrival_source_program(
+                    ctx, master_mailbox, serving_state.schedule
+                )
+
+            src_pid = rt.sim.add_proc(arrivals, node=master_node, name="arrivals")
+            self.aux_pids = (src_pid,)
 
     def worker_wiring(self, rt: "ClusterRuntime", node: int) -> tuple[Mailbox, Window | None]:
         return self._master_mailbox, self._window

@@ -1,0 +1,297 @@
+"""The open-loop serving coordinator.
+
+Where :class:`~repro.core.coordinator.pipeline.CoordinatorPipeline`
+holds the whole batch at t = 0 and pushes it through, the
+:class:`ServingPipeline` is event-driven: queries become work only when
+their ``TAG_ARRIVE`` message lands, pass through the admission queue,
+and are served one at a time from its head.  The loop interleaves three
+activities on the virtual clock —
+
+1. consume arrivals that have already happened (offer to admission);
+2. consume results/credit-acks that have already landed (settle tasks,
+   complete queries, feed the cache);
+3. serve the queue head: cache probe first, then route, then dispatch
+   every routed partition — *gated* on every partition's workgroup
+   having a spare credit, so service is head-of-line blocking rather
+   than unbounded deferral (the bounded ingress queue stays the only
+   queue).
+
+When nothing is ready it blocks on whichever of the two posted receives
+completes first.  Already-completed requests are settled in virtual-
+completion-time order (not post order), so the interleaving of arrivals
+and results is causal and deterministic.
+
+Cache hits complete instantly at the master — no routing charge, no
+dispatch, no worker time — which is exactly the capacity win the bench
+measures; a run with the cache enabled but no hits does the same sends
+at the same times as a run with the cache off (the equivalence the
+tests pin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.coordinator.merger import ResultMerger
+from repro.core.coordinator.report import MasterReport
+from repro.core.coordinator.router import Router
+from repro.core.coordinator.window import DispatchWindow
+from repro.core.messages import TAG_ARRIVE, TAG_CREDIT, TAG_END, TAG_RESULT, TAG_THREAD_DONE
+from repro.core.replication import Workgroups
+from repro.core.results import GlobalResults
+from repro.loadbalance import PrimarySelector, ReplicaSelector
+from repro.serving.state import ServingState
+from repro.simmpi.engine import Context, Mailbox
+from repro.simmpi.errors import SimError
+
+__all__ = ["ServingPipeline"]
+
+
+class ServingPipeline:
+    """One serving run's coordinator (approx routing, batch_size 1)."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        router,
+        workgroups: Workgroups,
+        queries: np.ndarray,
+        results: GlobalResults,
+        node_mailboxes: list[Mailbox],
+        rma_window,
+        serving: ServingState,
+        selector: ReplicaSelector | None = None,
+    ) -> None:
+        self.config = config
+        self.queries = queries
+        self.results = results
+        self.node_mailboxes = node_mailboxes
+        self.rma_window = rma_window
+        self.serving = serving
+        self.report = MasterReport(config.n_cores)
+        if selector is None:
+            selector = PrimarySelector(workgroups)
+        self.selector = selector
+        self.tracker = selector.tracker
+        self.router = Router(router, self.report, int(queries.shape[1]))
+        self.window = DispatchWindow(config, selector, self.report, node_mailboxes)
+        self.merger = ResultMerger(
+            config, results, self.report, one_sided=rma_window is not None
+        )
+        #: memoized route per query (the head may be retried while
+        #: credit-blocked; it must not be re-routed or re-probed)
+        self._routes: dict[int, list[int]] = {}
+        #: cache key per probed-and-missed query, for insert at completion
+        self._keys: dict[int, bytes] = {}
+        self._outstanding = np.zeros(serving.n_queries, dtype=np.int64)
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_arrival(self, payload) -> None:
+        state = self.serving
+        _, qid, _t = payload
+        state.consumed += 1
+        outcome, dropped = state.admission.offer(qid)
+        if outcome == "rejected":
+            state.drop(qid)
+        elif outcome == "shed":
+            state.drop(dropped)
+
+    def _note_settle(self, ctx: Context, qid: int) -> None:
+        """One task of ``qid`` settled; at zero outstanding it completes."""
+        self._outstanding[qid] -= 1
+        if self._outstanding[qid] != 0:
+            return
+        state = self.serving
+        state.timeline.note_complete(qid, ctx.now)
+        if state.cache is not None:
+            slot = self.results[qid]
+            key = self._keys.pop(qid, None)
+            if slot is not None and key is not None:
+                d, i = slot
+                state.cache.put(key, (d.copy(), i.copy()))
+
+    def _serve_head(self, ctx: Context):
+        """Try to take the queue head into service; returns True on entry.
+
+        False means the head is credit-blocked (every routed partition's
+        workgroup is out of credits) — the caller must consume results
+        until credits free.
+        """
+        state, config = self.serving, self.config
+        adm, window = state.admission, self.window
+        qid = adm.queue[0]
+        q = self.queries[qid]
+        cache = state.cache
+        if cache is not None and qid not in self._keys and qid not in self._routes:
+            key = cache.key(q)
+            row = cache.get(key)
+            if row is not None:
+                # hit: the answer is already at the master — serve it
+                # without touching the cluster (zero-cost completion)
+                adm.begin_service()
+                state.timeline.note_dispatch(qid, ctx.now)
+                d, i = row
+                self.results[qid] = (d.copy(), i.copy())
+                state.timeline.note_complete(qid, ctx.now)
+                self.report.fanouts.append(0)
+                return True
+            self._keys[qid] = key
+        parts = self._routes.get(qid)
+        if parts is None:
+            parts = yield from self.router.route_approx(ctx, q, config.n_probe)
+            self._routes[qid] = parts
+        if not all(window.group_has_credit(p) for p in parts):
+            return False
+        adm.begin_service()
+        state.timeline.note_dispatch(qid, ctx.now)
+        self.report.fanouts.append(len(parts))
+        self._outstanding[qid] = len(parts)
+        for pid_part in parts:
+            with ctx.span("dispatch"):
+                core = self.selector.pick(pid_part, ctx.now, exclude=window.blocked(1))
+                yield from window.send_task(ctx, qid, pid_part, core, q)
+        return True
+
+    def _handle_result(self, ctx: Context, payload):
+        merger, window = self.merger, self.window
+        if merger.one_sided:
+            merger.settle_credit(payload, window)
+            _, qids_b, _pid = payload
+            for qid in qids_b:
+                self._note_settle(ctx, int(qid))
+            return
+        with ctx.span("reduce"):
+            rows, pid_part = yield from merger.merge_payload(ctx, payload)
+        merger.finish_rows(rows, pid_part, window)
+
+    # -- the coordinator proc body -------------------------------------------
+
+    def run(self, ctx: Context):
+        config, report = self.config, self.report
+        state, merger, window = self.serving, self.merger, self.window
+        adm = state.admission
+        one_sided = self.rma_window is not None
+        result_tag = TAG_CREDIT if one_sided else TAG_RESULT
+        n = state.n_queries
+        if not one_sided:
+            merger.note_result = lambda qid: self._note_settle(ctx, qid)
+
+        def want_arrival() -> bool:
+            return state.consumed < n and adm.accepting()
+
+        def expect_result() -> bool:
+            return merger.tasks_completed < report.tasks_sent
+
+        arrive_req = None
+        result_req = None
+        while state.consumed < n or adm.queue or expect_result():
+            if arrive_req is None and want_arrival():
+                arrive_req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_ARRIVE)
+            if result_req is None and expect_result():
+                result_req = yield from ctx.post_recv(ctx.mailbox, tag=result_tag)
+
+            # settle everything that has already happened, in virtual-
+            # completion order, without advancing the clock
+            progressed = False
+            while True:
+                ready = [
+                    r
+                    for r in (arrive_req, result_req)
+                    if r is not None and r.done and r.completion_time <= ctx.now
+                ]
+                if not ready:
+                    break
+                req = min(ready, key=lambda r: r.completion_time)
+                payload = yield from ctx.wait(req)
+                if req is arrive_req:
+                    arrive_req = None
+                    self._on_arrival(payload)
+                    if want_arrival():
+                        arrive_req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_ARRIVE)
+                else:
+                    result_req = None
+                    yield from self._handle_result(ctx, payload)
+                    if expect_result():
+                        result_req = yield from ctx.post_recv(ctx.mailbox, tag=result_tag)
+                progressed = True
+
+            if adm.queue:
+                served = yield from self._serve_head(ctx)
+                if served:
+                    continue
+            if progressed:
+                continue
+
+            # nothing ready and the head (if any) is credit-blocked:
+            # block until the next arrival or settle.  Requests that are
+            # done-but-future are waited directly in completion order —
+            # wait_any's immediate-completion check is post-order, which
+            # would let a later result overtake an earlier arrival.
+            waits = [r for r in (arrive_req, result_req) if r is not None]
+            if not waits:
+                raise SimError(
+                    "serving coordinator stalled with no receive posted "
+                    f"(consumed {state.consumed}/{n}, queue {len(adm.queue)}, "
+                    f"outstanding {report.tasks_sent - merger.tasks_completed})"
+                )
+            done = [r for r in waits if r.done]
+            if done:
+                req = min(done, key=lambda r: r.completion_time)
+                payload = yield from ctx.wait(req)
+            else:
+                idx, payload = yield from ctx.wait_any(waits)
+                req = waits[idx]
+            if req is arrive_req:
+                arrive_req = None
+                self._on_arrival(payload)
+            else:
+                result_req = None
+                yield from self._handle_result(ctx, payload)
+
+        for r in (arrive_req, result_req):
+            if r is not None:
+                yield from ctx.cancel(r)
+
+        # End of Queries + thread-exit drain, as in the closed-loop pipeline
+        with ctx.span("drain"):
+            for node in range(config.n_nodes):
+                yield from ctx.send_to_mailbox(
+                    self.node_mailboxes[node],
+                    ("end",),
+                    source=ctx.pid,
+                    tag=TAG_END,
+                    nbytes=8,
+                    same_node=False,
+                )
+            for _ in range(config.n_nodes * config.threads_per_node):
+                req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_THREAD_DONE)
+                yield from ctx.wait(req)
+
+        if not state.accounted():
+            raise SimError(
+                "serving admission ledgers do not cover the offered load: "
+                f"admitted {adm.admitted} + shed {adm.shed} + rejected "
+                f"{adm.rejected} != offered {state.offered}"
+            )
+
+        report.query_latencies = state.timeline.latencies()
+        report.offered_queries = state.offered
+        report.admitted_queries = adm.admitted
+        report.shed_queries = adm.shed
+        report.rejected_queries = adm.rejected
+        report.max_ingress_depth = adm.max_depth_seen
+        cache = state.cache
+        if cache is not None:
+            report.cache_hits = cache.hits
+            report.cache_misses = cache.misses
+            report.cache_stale = cache.stale
+            report.cache_evictions = cache.evictions
+        report.arrival_times = state.timeline.arrival
+        report.dispatch_times = state.timeline.dispatch
+        report.complete_times = state.timeline.complete
+        report.queue_depth_timeline = self.tracker.timeline()
+        report.max_outstanding_tasks = window.max_outstanding
+        report.credits_leaked = window.outstanding
+        return report

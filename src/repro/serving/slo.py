@@ -1,0 +1,43 @@
+"""Per-query SLO timestamping for open-loop serving.
+
+Three timestamps per query, all on the virtual clock:
+
+- ``arrival`` — when the client issued the query (the schedule time);
+- ``dispatch`` — when the coordinator took it into service (cache
+  lookup / first task send);
+- ``complete`` — when its last result settled at the coordinator (or
+  its cache hit was served).
+
+``complete - arrival`` is the arrival-to-completion latency the SLO is
+judged on; ``dispatch - arrival`` is time-in-queue and ``complete -
+dispatch`` time-in-service, the breakdown that tells an operator whether
+an SLO miss is an admission problem or a capacity problem.  Shed and
+rejected queries keep NaN timestamps — they have no completion, and the
+NaNs flow through ``eval.latency_stats`` (which drops them) while the
+admission ledgers account for them explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ServingTimeline"]
+
+
+class ServingTimeline:
+    """The three per-query timestamp vectors of one serving run."""
+
+    def __init__(self, n_queries: int) -> None:
+        self.arrival = np.full(n_queries, np.nan)
+        self.dispatch = np.full(n_queries, np.nan)
+        self.complete = np.full(n_queries, np.nan)
+
+    def note_dispatch(self, query_id: int, now: float) -> None:
+        self.dispatch[query_id] = now
+
+    def note_complete(self, query_id: int, now: float) -> None:
+        self.complete[query_id] = now
+
+    def latencies(self) -> np.ndarray:
+        """Arrival-to-completion seconds (NaN for shed/rejected queries)."""
+        return self.complete - self.arrival

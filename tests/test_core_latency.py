@@ -65,8 +65,14 @@ class TestLatencyStats:
     def test_percentile_ordering(self):
         rng = np.random.default_rng(0)
         s = latency_stats(rng.exponential(1e-3, size=500))
-        assert s.p50 <= s.p90 <= s.p99 <= s.max
+        assert s.p50 <= s.p90 <= s.p99 <= s.p999 <= s.max
         assert s.n == 500
+
+    def test_as_row_includes_p999(self):
+        s = latency_stats(np.linspace(1e-4, 1e-2, 1000))
+        assert s.as_row() == (s.n, s.mean, s.p50, s.p90, s.p99, s.p999, s.max)
+        # p999 sits strictly inside the p99..max tail on a spread vector
+        assert s.p99 < s.p999 < s.max
 
     def test_nans_dropped(self):
         s = latency_stats(np.array([1.0, np.nan, 3.0]))
@@ -75,3 +81,7 @@ class TestLatencyStats:
     def test_all_nan_raises(self):
         with pytest.raises(ValueError, match="one-sided"):
             latency_stats(np.array([np.nan, np.nan]))
+
+    def test_none_raises_with_guidance(self):
+        with pytest.raises(ValueError, match="one_sided=False"):
+            latency_stats(None)

@@ -163,6 +163,21 @@ class TestZipfQueries:
             zipf_queries(anchors, 50, seed=7), zipf_queries(anchors, 50, seed=7)
         )
 
+    def test_different_seeds_differ(self):
+        a = zipf_query_targets(500, 16, skew=1.1, seed=9)
+        c = zipf_query_targets(500, 16, skew=1.1, seed=10)
+        assert not np.array_equal(a, c)
+        anchors = np.eye(4, dtype=np.float32)
+        assert not np.array_equal(
+            zipf_queries(anchors, 50, seed=7), zipf_queries(anchors, 50, seed=8)
+        )
+
+    def test_zero_skew_is_uniform(self):
+        flat = zipf_query_targets(8000, 8, skew=0.0, seed=5)
+        counts = np.bincount(flat, minlength=8) / 8000
+        # every rank within sampling noise of 1/8
+        np.testing.assert_allclose(counts, 1 / 8, atol=0.02)
+
     def test_invalid_args(self):
         with pytest.raises(ValueError):
             zipf_query_targets(10, 0, skew=1.0)
