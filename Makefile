@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test lint bench bench-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke bench-pipeline pipeline-smoke bench-serving serving-smoke examples faults-demo clean
+.PHONY: install test lint bench bench-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke bench-pipeline pipeline-smoke bench-serving serving-smoke obs-smoke examples faults-demo clean
 
 # smoke artifacts are throwaway CI outputs — they land in .benchmarks/
 # (gitignored), never at the repo root next to the tracked trajectories
@@ -64,6 +64,24 @@ serving-smoke:
 	mkdir -p $(SMOKE_DIR)
 	python benchmarks/bench_serving.py --smoke --out $(SMOKE_DIR)/BENCH_serving_smoke.json
 	pytest tests/test_serving.py -q
+
+# end-to-end observability smoke: gen -> build -> query with every obs
+# artifact enabled, then validate the Chrome trace against the trace-event
+# schema and the JSONL log against the versioned event schema (unknown
+# span/instant names fail), plus the observability contract tests
+# (bit-identity with tracing on/off in every execution mode)
+obs-smoke:
+	mkdir -p $(SMOKE_DIR)/obs
+	python -m repro.cli gen SYN_1M --n-points 600 --n-queries 40 --out $(SMOKE_DIR)/obs/corpus
+	python -m repro.cli build $(SMOKE_DIR)/obs/corpus/base.fvecs --out $(SMOKE_DIR)/obs/index --cores 8
+	python -m repro.cli query $(SMOKE_DIR)/obs/index $(SMOKE_DIR)/obs/corpus/query.fvecs \
+		--out $(SMOKE_DIR)/obs/out.ivecs --k 5 --arrival poisson:50000 \
+		--trace-out $(SMOKE_DIR)/obs/trace.json \
+		--events-out $(SMOKE_DIR)/obs/events.jsonl \
+		--metrics-out $(SMOKE_DIR)/obs/metrics.json \
+		--explain-top 2
+	python -m repro.obs.validate $(SMOKE_DIR)/obs/trace.json $(SMOKE_DIR)/obs/events.jsonl
+	pytest tests/test_observability.py -q
 
 # full evaluation-section reproduction (all tables + figures + ablations)
 bench-paper:

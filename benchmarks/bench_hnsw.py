@@ -26,7 +26,6 @@ Run via ``make bench`` (full size: n=20k, d=32) or ``make bench-smoke``
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import sys
@@ -35,12 +34,22 @@ from datetime import datetime, timezone
 
 import numpy as np
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
 if _SRC not in sys.path:
     try:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, _SRC)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from trajectory import (  # noqa: E402
+    fold_previous,
+    load_previous,
+    missing_keys,
+    results_checksum,
+)
 
 from repro.datasets import brute_force_knn  # noqa: E402
 from repro.hnsw import HnswIndex, HnswParams  # noqa: E402
@@ -84,13 +93,6 @@ def search_batched(index: HnswIndex, Q: np.ndarray, k: int, ef: int):
         D[i, : len(d)] = d
         ids[i, : len(nn)] = nn
     return D, ids
-
-
-def results_checksum(D: np.ndarray, ids: np.ndarray) -> str:
-    h = hashlib.sha256()
-    h.update(np.ascontiguousarray(D, dtype=np.float64).tobytes())
-    h.update(np.ascontiguousarray(ids, dtype=np.int64).tobytes())
-    return h.hexdigest()
 
 
 def run(args: argparse.Namespace) -> dict:
@@ -161,47 +163,28 @@ def run(args: argparse.Namespace) -> dict:
     return report
 
 
-def _get(report: dict, dotted: str):
-    node = report
-    for part in dotted.split("."):
-        if not isinstance(node, dict) or part not in node:
-            return None
-        node = node[part]
-    return node
+#: fields a previous run keeps when folded into the trajectory history
+#: (bespoke flat names mapped onto the nested report — key names are pinned
+#: so the recorded history stays continuous across harness versions)
+TRIM_FIELDS = {
+    "created": "created",
+    "config": "config",
+    "build_points_per_s": "build.points_per_s",
+    "single_qps": "search.single_qps",
+    "batched_qps": "search.batched_qps",
+    "recall_at_k": "search.recall_at_k",
+    "dist_evals_per_query": "search.dist_evals_per_query",
+    "combined_seconds": "combined_seconds",
+    "results_sha256": "results_sha256",
+}
 
 
-def validate(report: dict) -> list[str]:
-    """Names of REQUIRED_KEYS missing from ``report``."""
-    return [key for key in REQUIRED_KEYS if _get(report, key) is None]
-
-
-def trim(report: dict) -> dict:
-    """A previous run reduced to the fields the trajectory keeps."""
-    return {
-        "created": report.get("created"),
-        "config": report.get("config"),
-        "build_points_per_s": _get(report, "build.points_per_s"),
-        "single_qps": _get(report, "search.single_qps"),
-        "batched_qps": _get(report, "search.batched_qps"),
-        "recall_at_k": _get(report, "search.recall_at_k"),
-        "dist_evals_per_query": _get(report, "search.dist_evals_per_query"),
-        "combined_seconds": report.get("combined_seconds"),
-        "results_sha256": report.get("results_sha256"),
-    }
-
-
-def fold_previous(report: dict, out_path: str) -> dict:
+def fold_with_speedup(report: dict, out_path: str) -> dict:
     """Record the previous run (and history) and the speedup against it."""
-    if not os.path.exists(out_path):
+    prev = load_previous(out_path)
+    if prev is None:
         return report
-    try:
-        with open(out_path) as fh:
-            prev = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"NOTE: could not read previous {out_path}: {exc}", file=sys.stderr)
-        return report
-    report["history"] = (prev.get("history", []) + [trim(prev)])[-20:]
-    report["previous"] = trim(prev)
+    fold_previous(report, out_path, trim_fields=TRIM_FIELDS)
     prev_combined = prev.get("combined_seconds")
     comparable = prev.get("config") == report["config"]
     if comparable and prev_combined:
@@ -241,9 +224,9 @@ def main(argv: list[str] | None = None) -> int:
         args.n, args.n_queries = 2000, 50
 
     report = run(args)
-    report = fold_previous(report, args.out)
+    report = fold_with_speedup(report, args.out)
 
-    missing = validate(report)
+    missing = missing_keys(report, REQUIRED_KEYS)
     if missing:
         print(f"ERROR: benchmark report is missing keys: {missing}", file=sys.stderr)
         return 2

@@ -28,7 +28,6 @@ Run via ``make bench-loadbalance`` (full) or ``--smoke`` (CI size).
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import sys
@@ -42,6 +41,8 @@ if _SRC not in sys.path:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, _SRC)
+
+from trajectory import fold_previous, missing_keys, results_checksum  # noqa: E402
 
 from repro.core import DistributedANN, SystemConfig  # noqa: E402
 from repro.datasets import zipf_queries  # noqa: E402
@@ -60,13 +61,6 @@ REQUIRED_KEYS = (
     "primary_deterministic",
     "results_identical_across_selectors",
 )
-
-
-def results_checksum(D: np.ndarray, ids: np.ndarray) -> str:
-    h = hashlib.sha256()
-    h.update(np.ascontiguousarray(D, dtype=np.float64).tobytes())
-    h.update(np.ascontiguousarray(ids, dtype=np.int64).tobytes())
-    return h.hexdigest()
 
 
 def make_corpus(n: int, dim: int, n_parts: int, seed: int) -> np.ndarray:
@@ -129,16 +123,21 @@ def run(args: argparse.Namespace) -> dict:
             ann.fit(X)
             D, ids, rep = ann.query(Q, k=args.k)
             checksums.setdefault(replication, set()).add(results_checksum(D, ids))
-            busy = rep.core_busy_seconds
+            # raw fields come off the JSON-safe report dict; derived stats
+            # (imbalance) stay on the live report object
+            rd = rep.to_dict()
+            busy = np.asarray(rd["core_busy_seconds"], dtype=np.float64)
             runs.append(
                 {
                     "replication": replication,
                     "selector": selector,
-                    "makespan_s": round(rep.total_seconds, 6),
+                    "makespan_s": round(rd["total_seconds"], 6),
                     "imbalance_factor": round(rep.imbalance_factor, 4),
                     "max_core_busy_s": round(float(busy.max()), 6),
                     "mean_core_busy_s": round(float(busy.mean()), 6),
-                    "peak_queue_depth": round(float(rep.queue_depth_timeline[:, 1].max()), 1),
+                    "peak_queue_depth": round(
+                        max(d for _, d in rd["queue_depth_timeline"]), 1
+                    ),
                     "results_sha256": results_checksum(D, ids),
                 }
             )
@@ -197,46 +196,14 @@ def run(args: argparse.Namespace) -> dict:
     }
 
 
-def _get(report: dict, dotted: str):
-    node = report
-    for part in dotted.split("."):
-        if not isinstance(node, dict) or part not in node:
-            return None
-        node = node[part]
-    return node
-
-
-def validate(report: dict) -> list[str]:
-    """Names of REQUIRED_KEYS missing from ``report``."""
-    return [key for key in REQUIRED_KEYS if _get(report, key) is None]
-
-
-def trim(report: dict) -> dict:
-    """A previous run reduced to the fields the trajectory keeps."""
-    return {
-        "created": report.get("created"),
-        "config": report.get("config"),
-        "headline": report.get("headline"),
-        "primary_deterministic": report.get("primary_deterministic"),
-        "results_identical_across_selectors": report.get(
-            "results_identical_across_selectors"
-        ),
-    }
-
-
-def fold_previous(report: dict, out_path: str) -> dict:
-    """Record the previous run (and rolling history) in the trajectory."""
-    if not os.path.exists(out_path):
-        return report
-    try:
-        with open(out_path) as fh:
-            prev = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"NOTE: could not read previous {out_path}: {exc}", file=sys.stderr)
-        return report
-    report["history"] = (prev.get("history", []) + [trim(prev)])[-20:]
-    report["previous"] = trim(prev)
-    return report
+#: fields a previous run keeps when folded into the trajectory history
+TRIM_FIELDS = (
+    "created",
+    "config",
+    "headline",
+    "primary_deterministic",
+    "results_identical_across_selectors",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -281,9 +248,9 @@ def main(argv: list[str] | None = None) -> int:
         args.n, args.n_queries = 1200, 200
 
     report = run(args)
-    report = fold_previous(report, args.out)
+    report = fold_previous(report, args.out, trim_fields=TRIM_FIELDS)
 
-    missing = validate(report)
+    missing = missing_keys(report, REQUIRED_KEYS)
     if missing:
         print(f"ERROR: benchmark report is missing keys: {missing}", file=sys.stderr)
         return 2

@@ -47,12 +47,8 @@ if _SRC not in sys.path:
 if _HERE not in sys.path:
     sys.path.insert(0, _HERE)
 
-from bench_loadbalance import (  # noqa: E402
-    fold_previous,
-    make_corpus,
-    results_checksum,
-    skewed_queries,
-)
+from bench_loadbalance import make_corpus, skewed_queries  # noqa: E402
+from trajectory import fold_previous, missing_keys, results_checksum  # noqa: E402
 
 from repro.core import DistributedANN, SystemConfig  # noqa: E402
 from repro.hnsw import HnswParams  # noqa: E402
@@ -194,18 +190,15 @@ def run(args: argparse.Namespace) -> dict:
     }
 
 
-def _get(report: dict, dotted: str):
-    node = report
-    for part in dotted.split("."):
-        if not isinstance(node, dict) or part not in node:
-            return None
-        node = node[part]
-    return node
-
-
-def validate(report: dict) -> list[str]:
-    """Names of REQUIRED_KEYS missing from ``report``."""
-    return [key for key in REQUIRED_KEYS if _get(report, key) is None]
+#: fields a previous run keeps when folded into the trajectory history
+TRIM_FIELDS = (
+    "created",
+    "config",
+    "headline",
+    "eager_deterministic",
+    "results_identical_across_windows",
+    "no_credits_leaked",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -275,9 +268,9 @@ def main(argv: list[str] | None = None) -> int:
         args.headline_cores, args.headline_window = 16, 2
 
     report = run(args)
-    report = fold_previous(report, args.out)
+    report = fold_previous(report, args.out, trim_fields=TRIM_FIELDS)
 
-    missing = validate(report)
+    missing = missing_keys(report, REQUIRED_KEYS)
     if missing:
         print(f"ERROR: benchmark report is missing keys: {missing}", file=sys.stderr)
         return 2

@@ -48,11 +48,8 @@ if _SRC not in sys.path:
 if _HERE not in sys.path:
     sys.path.insert(0, _HERE)
 
-from bench_loadbalance import (  # noqa: E402
-    fold_previous,
-    make_corpus,
-    results_checksum,
-)
+from bench_loadbalance import make_corpus  # noqa: E402
+from trajectory import fold_previous, missing_keys, results_checksum  # noqa: E402
 
 from repro.core import DistributedANN, SystemConfig  # noqa: E402
 from repro.datasets import zipf_query_targets, zipf_queries  # noqa: E402
@@ -136,10 +133,13 @@ def hot_pool_queries(ann: DistributedANN, args: argparse.Namespace) -> np.ndarra
 
 
 def serving_row(label: str, arrival: str | None, rep, D, ids) -> dict:
+    # raw counters come off the JSON-safe report dict; derived stats
+    # (hit rate, queue/service split, percentiles) off the live report
+    rd = rep.to_dict()
     row = {
         "label": label,
         "arrival": arrival,
-        "makespan_s": round(rep.total_seconds, 6),
+        "makespan_s": round(rd["total_seconds"], 6),
         "results_sha256": results_checksum(D, ids),
     }
     if arrival is not None:
@@ -147,13 +147,13 @@ def serving_row(label: str, arrival: str | None, rep, D, ids) -> dict:
         lat = latency_stats(rep.query_latencies)
         row.update(
             {
-                "offered": s.offered,
-                "admitted": s.admitted,
-                "shed": s.shed,
-                "rejected": s.rejected,
-                "max_ingress_depth": s.max_ingress_depth,
-                "cache_hits": s.cache_hits,
-                "cache_misses": s.cache_misses,
+                "offered": rd["offered_queries"],
+                "admitted": rd["admitted_queries"],
+                "shed": rd["shed_queries"],
+                "rejected": rd["rejected_queries"],
+                "max_ingress_depth": rd["max_ingress_depth"],
+                "cache_hits": rd["cache_hits"],
+                "cache_misses": rd["cache_misses"],
                 "cache_hit_rate": round(s.cache_hit_rate, 4),
                 "p50_ms": round(lat.p50 * 1e3, 4),
                 "p99_ms": round(lat.p99 * 1e3, 4),
@@ -285,18 +285,16 @@ def run(args: argparse.Namespace) -> dict:
     }
 
 
-def _get(report: dict, dotted: str):
-    node = report
-    for part in dotted.split("."):
-        if not isinstance(node, dict) or part not in node:
-            return None
-        node = node[part]
-    return node
-
-
-def validate(report: dict) -> list[str]:
-    """Names of REQUIRED_KEYS missing from ``report``."""
-    return [key for key in REQUIRED_KEYS if _get(report, key) is None]
+#: fields a previous run keeps when folded into the trajectory history
+TRIM_FIELDS = (
+    "created",
+    "config",
+    "headline",
+    "overload",
+    "serving_matches_closed_loop",
+    "cache_results_identical",
+    "admission_accounted",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -387,9 +385,9 @@ def main(argv: list[str] | None = None) -> int:
         args.overload_rate = 12800
 
     report = run(args)
-    report = fold_previous(report, args.out)
+    report = fold_previous(report, args.out, trim_fields=TRIM_FIELDS)
 
-    missing = validate(report)
+    missing = missing_keys(report, REQUIRED_KEYS)
     if missing:
         print(f"ERROR: benchmark report is missing keys: {missing}", file=sys.stderr)
         return 2

@@ -30,6 +30,7 @@ Subpackages
 - ``repro.datasets``  — synthetic corpora, file formats, ground truth.
 - ``repro.metrics``   — vectorized distance metrics.
 - ``repro.eval``      — recall, load statistics, scaling tables.
+- ``repro.obs``       — metrics registry, per-query traces, exporters.
 
 The names below are the supported public surface; everything else under
 ``repro.*`` is internal and may move between releases.
@@ -43,6 +44,7 @@ from repro.faults import FaultSpec
 from repro.hnsw import HnswIndex, HnswParams
 from repro.kdtree import KDTree
 from repro.loadbalance import ReplicaSelector
+from repro.obs import MetricsRegistry, TraceRecorder
 from repro.protocols import Searcher
 from repro.runtime import ClusterRuntime
 from repro.vptree import VPTree, PartitionRouter
@@ -57,11 +59,13 @@ __all__ = [
     "HnswIndex",
     "HnswParams",
     "KDTree",
+    "MetricsRegistry",
     "PartitionRouter",
     "ReplicaSelector",
     "Searcher",
     "SearchReport",
     "SystemConfig",
+    "TraceRecorder",
     "VPTree",
     "Workgroups",
     "__version__",

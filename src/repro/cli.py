@@ -273,6 +273,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         overload_policy=args.overload_policy,
         cache_size=args.cache_size,
         slo_ms=args.slo_ms,
+        trace_out=args.trace_out,
+        events_out=args.events_out,
+        metrics_out=args.metrics_out,
+        explain_top=args.explain_top,
         seed=meta["seed"],
         # fault tolerance tracks per-task deadlines at the master, which
         # needs the two-sided result path; serving needs it too unless a
@@ -338,6 +342,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
         gt = read_ivecs(args.groundtruth).astype(np.int64)
         k = min(I.shape[1], gt.shape[1])
         print(f"recall@{k} = {recall_at_k(I[:, :k], gt[:, :k]):.4f}")
+    _write_obs_outputs(cfg, rep)
+    return 0
+
+
+def _write_obs_outputs(cfg, rep) -> int:
+    """Emit the observability artifacts the config asked for."""
+    if cfg.trace_out:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(cfg.trace_out, rep.trace, rep)
+        print(f"wrote Chrome trace to {cfg.trace_out} (open in ui.perfetto.dev)")
+    if cfg.events_out:
+        from repro.obs.export import write_events_jsonl
+
+        write_events_jsonl(cfg.events_out, rep.trace, rep)
+        print(f"wrote event log to {cfg.events_out}")
+    if cfg.metrics_out:
+        from repro.obs.export import write_metrics_json
+
+        write_metrics_json(cfg.metrics_out, rep.metrics)
+        print(f"wrote metrics dump to {cfg.metrics_out}")
+    if cfg.explain_top > 0:
+        from repro.obs.explain import render_explain
+
+        print(render_explain(rep, cfg.explain_top))
     return 0
 
 

@@ -198,6 +198,48 @@ class SystemConfig:
             "arrival-to-completion SLO target in ms (0 = none; needs --arrival)",
         ),
     )
+    # -- observability (see docs/observability.md); valid in every mode and
+    # guaranteed bit-identity-neutral: recording never touches the virtual
+    # clock, so golden digests and makespans match with tracing on or off
+    #: write a Chrome-trace-event JSON (Perfetto-loadable) of the run
+    trace_out: str | None = field(
+        default=None,
+        metadata=cli_option(
+            "--trace-out",
+            "write a Perfetto-loadable Chrome trace-event JSON of the run",
+            commands=("query",),
+            type=str,
+        ),
+    )
+    #: write the schema-versioned JSONL structured event log
+    events_out: str | None = field(
+        default=None,
+        metadata=cli_option(
+            "--events-out",
+            "write a schema-versioned JSONL event log (spans/instants/counters/queries)",
+            commands=("query",),
+            type=str,
+        ),
+    )
+    #: write the metrics-registry dump as JSON
+    metrics_out: str | None = field(
+        default=None,
+        metadata=cli_option(
+            "--metrics-out",
+            "write the unified metrics-registry dump as JSON",
+            commands=("query",),
+            type=str,
+        ),
+    )
+    #: print the span trees of the N slowest queries after the run
+    explain_top: int = field(
+        default=0,
+        metadata=cli_option(
+            "--explain-top",
+            "print span trees of the N slowest queries (0 = off)",
+            commands=("query",),
+        ),
+    )
     one_sided: bool = True
     owner_strategy: str = "master"
     searcher: str = "real"
@@ -373,6 +415,19 @@ class SystemConfig:
                 f"overload_policy={self.overload_policy!r} requires "
                 "queue_depth > 0: an unbounded ingress queue never overloads"
             )
+        if self.explain_top < 0:
+            raise SimConfigError(f"explain_top must be >= 0, got {self.explain_top}")
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def trace_enabled(self) -> bool:
+        """True when any observability output wants a per-query trace."""
+        return (
+            self.trace_out is not None
+            or self.events_out is not None
+            or self.explain_top > 0
+        )
 
     # -- derived topology ---------------------------------------------------
 

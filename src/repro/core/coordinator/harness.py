@@ -80,13 +80,14 @@ class FaultHarness:
         task_seconds_hint: float,
         selector: ReplicaSelector | None = None,
         serving=None,
+        metrics=None,
     ) -> None:
         self.config = config
         self.queries = queries
         self.node_mailboxes = node_mailboxes
         self.policy = policy
         self.task_seconds_hint = task_seconds_hint
-        self.report = MasterReport(config.n_cores)
+        self.report = MasterReport(config.n_cores, registry=metrics)
         if selector is None:
             selector = PrimarySelector(workgroups)
         self.selector = selector
@@ -134,6 +135,7 @@ class FaultHarness:
         self._unresolved[query_id] -= 1
         if self._unresolved[query_id] == 0:
             self._latencies[query_id] = self._ctx.now - self._batch_start
+            self._ctx.trace_instant("complete", query_id=int(query_id))
             if self.serving is not None:
                 self._finish_serving(query_id)
 
@@ -180,7 +182,7 @@ class FaultHarness:
             return
         state = {"core": core, "attempts": 1, "tried": {core}, "deadline": 0.0}
         self.pending[(query_id, partition_id)] = state
-        with ctx.span("dispatch"):
+        with ctx.span("dispatch", query_id=int(query_id), partition=int(partition_id)):
             yield from self.win.send_task(
                 ctx, query_id, partition_id, core, self.queries[query_id]
             )
@@ -205,7 +207,7 @@ class FaultHarness:
             )
             state = {"core": core, "attempts": 1, "tried": {core}, "deadline": 0.0}
             self.pending[(query_id, partition_id)] = state
-            with ctx.span("dispatch"):
+            with ctx.span("dispatch", query_id=int(query_id), partition=int(partition_id)):
                 yield from self.win.send_task(
                     ctx, query_id, partition_id, core, self.queries[query_id]
                 )
@@ -228,6 +230,7 @@ class FaultHarness:
             ):
                 self.dead.add(core)
                 self.report.suspected_dead_cores.append(int(core))
+                ctx.trace_instant("suspect_core", core=int(core))
         if state["attempts"] >= self.policy.max_attempts:
             self._abandon(key)
             return
@@ -257,7 +260,9 @@ class FaultHarness:
         else:
             self.report.failovers += 1
         state["core"] = nxt
-        with ctx.span(span):
+        with ctx.span(
+            span, query_id=int(query_id), partition=int(partition_id), core=int(nxt)
+        ):
             yield from self.win.send_task(ctx, query_id, partition_id, nxt, self.queries[query_id])
         state["deadline"] = ctx.now + self.base_timeout * self.policy.backoff ** (
             state["attempts"] - 1
@@ -298,7 +303,9 @@ class FaultHarness:
         # -- route every query up front (approx routing) ---------------------
         parts_per_query: list[list[int]] = []
         for qid in range(n_q):
-            parts = yield from self.router.route_approx(ctx, queries[qid], config.n_probe)
+            parts = yield from self.router.route_approx(
+                ctx, queries[qid], config.n_probe, query_id=qid
+            )
             report.fanouts.append(len(parts))
             parts_per_query.append([int(p) for p in parts])
 
@@ -407,19 +414,24 @@ class FaultHarness:
         state = self.serving
         qid = state.admission.begin_service()
         state.timeline.note_dispatch(qid, ctx.now)
+        ctx.trace_instant("admit", query_id=int(qid))
         q = self.queries[qid]
         cache = state.cache
         if cache is not None:
             key = cache.key(q)
             row = cache.get(key)
+            ctx.trace_instant("cache_probe", query_id=int(qid), hit=row is not None)
             if row is not None:
                 d, ids = row
                 self.merger.results[qid] = (d.copy(), ids.copy())
                 state.timeline.note_complete(qid, ctx.now)
+                ctx.trace_instant("complete", query_id=int(qid), cached=True)
                 self.report.fanouts.append(0)
                 return
             self._serving_keys[qid] = key
-        parts = yield from self.router.route_approx(ctx, q, self.config.n_probe)
+        parts = yield from self.router.route_approx(
+            ctx, q, self.config.n_probe, query_id=int(qid)
+        )
         self.report.fanouts.append(len(parts))
         self._parts_per_query[qid] = [int(p) for p in parts]
         self._unresolved[qid] = len(parts)
@@ -492,6 +504,7 @@ class FaultHarness:
                 _, aqid, _t = payload
                 state.consumed += 1
                 outcome, dropped = adm.offer(int(aqid))
+                ctx.trace_instant("arrive", query_id=int(aqid), outcome=outcome)
                 if outcome == "rejected":
                     state.drop(int(aqid))
                 elif outcome == "shed":

@@ -74,20 +74,27 @@ class ResultMerger:
         self.results.update(qid, d, ids)
         return [(int(qid), d)], int(pid_part)
 
-    def settle_credit(self, payload, window) -> None:
+    def settle_credit(self, payload, window, ctx: Context | None = None) -> None:
         """Settle one credit-ack payload: count the tasks done, return
         their dispatch credits.  Pure bookkeeping — charges no time."""
         _, qids_b, pid_part = payload
         for qid in qids_b:
             self.tasks_completed += 1
             window.release((int(qid), int(pid_part)))
+            if ctx is not None and ctx.trace_active:
+                ctx.trace_instant(
+                    "task_settle", query_id=int(qid), partition=int(pid_part)
+                )
 
-    def finish_rows(self, rows, pid_part, window) -> None:
+    def finish_rows(self, rows, pid_part, window, ctx: Context | None = None) -> None:
         """Settle already-merged rows: credits back, completion hooks.
         Pure bookkeeping — charges no time."""
+        trace = ctx is not None and ctx.trace_active
         for qid, d in rows:
             self.tasks_completed += 1
             window.release((qid, pid_part))
+            if trace:
+                ctx.trace_instant("task_settle", query_id=int(qid), partition=int(pid_part))
             if self.note_result is not None:
                 self.note_result(qid)
             if self.on_complete is not None:
@@ -105,10 +112,10 @@ class ResultMerger:
             with ctx.span("reduce"):
                 req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_CREDIT)
                 payload = yield from ctx.wait(req)
-            self.settle_credit(payload, window)
+            self.settle_credit(payload, window, ctx=ctx)
             return
         with ctx.span("reduce"):
             req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_RESULT)
             payload = yield from ctx.wait(req)
             rows, pid_part = yield from self.merge_payload(ctx, payload)
-        self.finish_rows(rows, pid_part, window)
+        self.finish_rows(rows, pid_part, window, ctx=ctx)

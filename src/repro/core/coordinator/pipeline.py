@@ -47,12 +47,13 @@ class CoordinatorPipeline:
         node_mailboxes: list[Mailbox],
         rma_window,
         selector: ReplicaSelector | None = None,
+        metrics=None,
     ) -> None:
         self.config = config
         self.queries = queries
         self.node_mailboxes = node_mailboxes
         self.rma_window = rma_window
-        self.report = MasterReport(config.n_cores)
+        self.report = MasterReport(config.n_cores, registry=metrics)
         if selector is None:
             selector = PrimarySelector(workgroups)
         self.selector = selector
@@ -81,6 +82,7 @@ class CoordinatorPipeline:
             outstanding[query_id] -= 1
             if outstanding[query_id] == 0:
                 latencies[query_id] = ctx.now - batch_start
+                ctx.trace_instant("complete", query_id=int(query_id))
 
         def note_dispatch(query_ids) -> None:
             for qid in query_ids:
@@ -142,7 +144,7 @@ class CoordinatorPipeline:
         buffers: dict[int, tuple[list[int], list[np.ndarray]]] = {}
         for qid in range(len(queries)):
             q = queries[qid]
-            parts = yield from self.router.route_approx(ctx, q, config.n_probe)
+            parts = yield from self.router.route_approx(ctx, q, config.n_probe, query_id=qid)
             self.report.fanouts.append(len(parts))
             for pid_part in parts:
                 buf = buffers.get(pid_part)
@@ -166,7 +168,7 @@ class CoordinatorPipeline:
         merger.on_complete = lambda qid, _pid, d: self._events.append((qid, d))
         for qid in range(len(queries)):
             q = queries[qid]
-            parts = yield from self.router.route_approx(ctx, q, 1)
+            parts = yield from self.router.route_approx(ctx, q, 1, query_id=qid)
             self._pending_pilot[qid] = parts[0]
             yield from window.dispatch(ctx, merger, qid, parts[0], q)
             # completions consumed while blocked on credits trigger their
@@ -191,7 +193,9 @@ class CoordinatorPipeline:
         config, k = self.config, self.config.k
         tau = float(d[k - 1]) if len(d) >= k else float("inf")
         if np.isfinite(tau):
-            parts = yield from self.router.route_exact(ctx, self.queries[qid], tau, drop=pilot)
+            parts = yield from self.router.route_exact(
+                ctx, self.queries[qid], tau, drop=pilot, query_id=qid
+            )
         else:
             parts = [p for p in range(config.n_cores) if p != pilot]
         self.report.fanouts.append(len(parts) + 1)

@@ -38,22 +38,22 @@ class Router:
         self.report.route_dist_evals += evals
         return ctx.cost.distance_cost(evals, self.dim)
 
-    def route_approx(self, ctx: Context, q: np.ndarray, n_probe: int):
+    def route_approx(self, ctx: Context, q: np.ndarray, n_probe: int, query_id=None):
         """Best-first ``n_probe`` partitions for ``q`` (Alg. 3 line 4)."""
-        with ctx.span("route"):
+        with ctx.span("route", query_id=query_id):
             before = self.inner.n_dist_evals
             parts = self.inner.route_approx(q, n_probe)
             yield from ctx.compute(self._cost(ctx, before), kind="route")
         return parts
 
-    def route_exact(self, ctx: Context, q: np.ndarray, tau: float, drop=None):
+    def route_exact(self, ctx: Context, q: np.ndarray, tau: float, drop=None, query_id=None):
         """Exact ball route for the adaptive second wave.
 
         ``drop`` removes the already-probed pilot partition from the
         returned set (the distance evaluations are still charged — the
         router visited them either way).
         """
-        with ctx.span("route"):
+        with ctx.span("route", query_id=query_id):
             before = self.inner.n_dist_evals
             parts = self.inner.route_exact(q, tau)
             if drop is not None:

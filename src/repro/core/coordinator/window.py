@@ -147,6 +147,11 @@ class DispatchWindow:
             yield from merger.consume_one(ctx, self)
         if stall_start is not None:
             self.report.credit_stall_seconds += ctx.now - stall_start
+            # only actual stalls land in the trace — a zero-width
+            # credit_wait on every dispatch would drown the timeline
+            ctx.trace_complete(
+                "credit_wait", stall_start, ctx.now, partition=int(partition_id)
+            )
 
     # -- send paths ----------------------------------------------------------
 
@@ -161,6 +166,13 @@ class DispatchWindow:
         self.report.tasks_sent += 1
         self.report.batches_sent += 1
         self._charge(core, ((int(query_id), int(partition_id)),))
+        if ctx.trace_active:
+            ctx.trace_instant(
+                "task_send",
+                query_id=int(query_id),
+                partition=int(partition_id),
+                core=int(core),
+            )
         node = self.config.node_of_core(core)
         yield from ctx.send_to_mailbox(
             self.node_mailboxes[node],
@@ -175,7 +187,7 @@ class DispatchWindow:
         """One flow-controlled task dispatch (the adaptive path's unit)."""
         if self.credits is not None:
             yield from self._await_credit(ctx, merger, partition_id, 1)
-        with ctx.span("dispatch"):
+        with ctx.span("dispatch", query_id=int(query_id), partition=int(partition_id)):
             core = self.selector.pick(partition_id, ctx.now, exclude=self.blocked(1))
             if self.on_dispatch is not None:
                 self.on_dispatch((query_id,))
@@ -193,7 +205,7 @@ class DispatchWindow:
         need = len(query_ids)
         if self.credits is not None:
             yield from self._await_credit(ctx, merger, partition_id, need)
-        with ctx.span("dispatch"):
+        with ctx.span("dispatch", partition=int(partition_id), n_queries=need):
             core = self.selector.pick(partition_id, ctx.now, exclude=self.blocked(need))
             self.tracker.record_dispatch(core, ctx.now, n_tasks=need)
             self.report.dispatch_counts[core] += need
@@ -202,6 +214,13 @@ class DispatchWindow:
             if self.on_dispatch is not None:
                 self.on_dispatch(query_ids)
             self._charge(core, [(int(q), int(partition_id)) for q in query_ids])
+            if ctx.trace_active:
+                ctx.trace_instant(
+                    "task_send",
+                    query_ids=tuple(int(q) for q in query_ids),
+                    partition=int(partition_id),
+                    core=int(core),
+                )
             node = self.config.node_of_core(core)
             Qb = np.stack(qvecs)
             yield from ctx.send_to_mailbox(

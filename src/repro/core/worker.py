@@ -75,7 +75,23 @@ def worker_thread_program(
                 # ("btask", qids, pid, Q): B queries for one partition,
                 # answered with one local batch search (see master dispatch)
                 _, query_ids, partition_id, Qb = payload[:4]
-                with ctx.span("search"):
+                qids = tuple(int(q) for q in query_ids) if ctx.trace_active else None
+                if ctx.trace_active and req.arrival is not None:
+                    # the gap between the task landing in the node mailbox
+                    # and a thread picking it up is pure queueing delay
+                    ctx.trace_complete(
+                        "queue",
+                        req.arrival,
+                        ctx.now,
+                        query_ids=qids,
+                        partition=int(partition_id),
+                    )
+                with ctx.span(
+                    "search",
+                    query_ids=qids,
+                    partition=int(partition_id),
+                    n_queries=len(query_ids),
+                ):
                     partition = node_store.get(partition_id)
                     search_batch = getattr(searcher, "search_batch", None)
                     if search_batch is not None:
@@ -118,7 +134,15 @@ def worker_thread_program(
             # multiple-owner dispatcher
             _, query_id, partition_id, qvec = payload[:4]
             reply_to = payload[4] if len(payload) > 4 else master_mailbox
-            with ctx.span("search"):
+            if ctx.trace_active and req.arrival is not None:
+                ctx.trace_complete(
+                    "queue",
+                    req.arrival,
+                    ctx.now,
+                    query_id=int(query_id),
+                    partition=int(partition_id),
+                )
+            with ctx.span("search", query_id=int(query_id), partition=int(partition_id)):
                 partition = node_store.get(partition_id)
                 dists, ids, seconds = searcher.search(partition, qvec, k)
                 yield from ctx.compute(seconds, kind="search")

@@ -95,6 +95,7 @@ class LoadTracker:
         n_cores: int,
         task_cost_hint: float,
         max_timeline_samples: int | None = 4096,
+        metrics=None,
     ) -> None:
         if n_cores < 1:
             raise SimConfigError(f"n_cores must be >= 1, got {n_cores}")
@@ -105,6 +106,10 @@ class LoadTracker:
         self.n_cores = n_cores
         self.task_cost_hint = max(float(task_cost_hint), 1e-12)
         self.max_timeline_samples = max_timeline_samples
+        #: peak-total-queued gauge in the run's MetricsRegistry (optional)
+        self._peak_gauge = (
+            metrics.gauge("loadtracker.peak_total_queued") if metrics is not None else None
+        )
         #: modeled virtual time each core stays busy through
         self.busy_until = np.zeros(n_cores, dtype=np.float64)
         #: tasks dispatched per core (the tracker's own count — matches the
@@ -123,7 +128,10 @@ class LoadTracker:
         self.dispatched[core] += n_tasks
         self._events += 1
         if self._events % self._stride == 0:
-            self._samples.append((now, self.total_queued(now)))
+            depth = self.total_queued(now)
+            self._samples.append((now, depth))
+            if self._peak_gauge is not None:
+                self._peak_gauge.track_max(depth)
             if (
                 self.max_timeline_samples is not None
                 and len(self._samples) >= self.max_timeline_samples

@@ -1,0 +1,114 @@
+"""Slow-query drill-down: render the worst queries' span trees.
+
+``repro query --explain-top N`` prints, for the N queries with the largest
+end-to-end latency, every recorded span and instant tagged with that query
+id as an indented tree (intra-proc parent links give the nesting), plus a
+queue-vs-service attribution: under open-loop serving the split comes from
+the serving timeline (dispatch − arrival vs complete − dispatch); in
+closed-loop runs it is the sum of worker ``queue`` spans vs worker
+``search`` spans for the query.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["render_explain", "slowest_queries"]
+
+
+def slowest_queries(report, n: int) -> list[int]:
+    """Ids of the ``n`` highest-latency queries (finite latencies only)."""
+    lats = report.query_latencies
+    if lats is None or n <= 0:
+        return []
+    ranked = [
+        (float(lat), qid)
+        for qid, lat in enumerate(lats)
+        if lat is not None and not math.isnan(lat)
+    ]
+    ranked.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [qid for _, qid in ranked[:n]]
+
+
+def _queue_service_split(report, recorder, qid: int) -> tuple[float, float]:
+    arrivals = report.arrival_times
+    if arrivals is not None and not math.isnan(arrivals[qid]):
+        dispatch = report.dispatch_times[qid]
+        complete = report.complete_times[qid]
+        if not math.isnan(dispatch) and not math.isnan(complete):
+            return (
+                float(dispatch - arrivals[qid]),
+                float(complete - dispatch),
+            )
+    spans, _ = recorder.events_for_query(qid)
+    queue = sum(
+        (s.end or s.start) - s.start for s in spans if s.name == "queue"
+    )
+    service = sum(
+        (s.end or s.start) - s.start for s in spans if s.name == "search"
+    )
+    return float(queue), float(service)
+
+
+def _fmt_attrs(attrs, skip=("query_id", "query_ids")) -> str:
+    if not attrs:
+        return ""
+    shown = {k: v for k, v in attrs.items() if k not in skip}
+    if not shown:
+        return ""
+    return "  [" + ", ".join(f"{k}={v}" for k, v in sorted(shown.items())) + "]"
+
+
+def _render_query(report, recorder, qid: int, lines: list[str]) -> None:
+    lats = report.query_latencies
+    lat = float(lats[qid]) if lats is not None else float("nan")
+    queue_s, service_s = _queue_service_split(report, recorder, qid)
+    lines.append(
+        f"query {qid}: latency {lat * 1e3:.3f} ms "
+        f"(queue {queue_s * 1e3:.3f} ms, service {service_s * 1e3:.3f} ms)"
+    )
+    spans, instants = recorder.events_for_query(qid)
+    selected = {s.id for s in spans}
+    depth_of = {}
+
+    def depth(span):
+        if span.id in depth_of:
+            return depth_of[span.id]
+        d = 0
+        parent = span.parent
+        if parent in selected:
+            parent_span = next(s for s in spans if s.id == parent)
+            d = depth(parent_span) + 1
+        depth_of[span.id] = d
+        return d
+
+    events = [("span", s.start, s) for s in spans]
+    events += [("instant", i.ts, i) for i in instants]
+    for kind, ts, ev in sorted(events, key=lambda e: (e[1], 0 if e[0] == "span" else 1)):
+        proc = recorder.procs.get(ev.pid, (f"pid{ev.pid}", "?"))[0]
+        if kind == "span":
+            indent = "  " * (depth(ev) + 1)
+            dur = ((ev.end if ev.end is not None else ev.start) - ev.start) * 1e3
+            lines.append(
+                f"{indent}{ev.name:<12} {dur:9.3f} ms  @{ts * 1e3:10.3f} ms"
+                f"  on {proc}{_fmt_attrs(ev.attrs)}"
+            )
+        else:
+            lines.append(
+                f"  * {ev.name:<12}              @{ts * 1e3:10.3f} ms"
+                f"  on {proc}{_fmt_attrs(ev.attrs)}"
+            )
+
+
+def render_explain(report, n: int) -> str:
+    """Render the drill-down for the ``n`` slowest queries of a run."""
+    recorder = report.trace
+    if recorder is None:
+        return "explain: no trace recorded (run with --trace-out/--explain-top)"
+    worst = slowest_queries(report, n)
+    if not worst:
+        return "explain: no per-query latencies recorded"
+    lines = [f"slowest {len(worst)} of {report.n_queries} queries:"]
+    for qid in worst:
+        _render_query(report, recorder, qid, lines)
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Artifact validator CLI: ``python -m repro.obs.validate FILE [FILE ...]``.
+
+``*.json`` files are checked against the Chrome trace-event schema,
+``*.jsonl`` files against the versioned JSONL event schema
+(:data:`repro.obs.export.EVENTS_SCHEMA`).  Unknown span or instant names
+are errors — this is the CI vocabulary drift guard.  Exits non-zero if any
+file fails.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.export import validate_chrome_trace, validate_events
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs.validate TRACE.json EVENTS.jsonl ...")
+        return 2
+    failed = False
+    for path in paths:
+        if path.endswith(".jsonl"):
+            with open(path) as fh:
+                errors = validate_events(fh.readlines())
+        else:
+            with open(path) as fh:
+                try:
+                    obj = json.load(fh)
+                except json.JSONDecodeError as exc:
+                    obj, errors = None, [f"invalid JSON: {exc}"]
+            if obj is not None:
+                errors = validate_chrome_trace(obj)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID ({len(errors)} error(s))")
+            for err in errors[:20]:
+                print(f"  - {err}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

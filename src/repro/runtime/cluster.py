@@ -40,6 +40,8 @@ from repro.core.results import GlobalResults
 from repro.core.searcher import LocalSearcher
 from repro.core.worker import worker_thread_program
 from repro.faults.injector import FaultInjector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.runtime.report import ReportBuilder, SearchReport
 from repro.runtime.strategies import DispatchStrategy
 from repro.simmpi.engine import Event, Simulation
@@ -72,7 +74,20 @@ class ClusterRuntime:
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.faults = FaultInjector(config.fault_spec) if config.fault_spec is not None else None
-        self.sim = Simulation(network=config.network, cost=config.cost, faults=self.faults)
+        #: run-wide metrics registry: the engine, the coordinator parts, the
+        #: load tracker, and the serving layer all record into this one seam
+        self.metrics = MetricsRegistry()
+        #: per-query distributed trace recorder, attached only when the
+        #: config asks for observability output (recording is bit-identity-
+        #: neutral either way; the gate just avoids the bookkeeping cost)
+        self.recorder = TraceRecorder() if config.trace_enabled else None
+        self.sim = Simulation(
+            network=config.network,
+            cost=config.cost,
+            faults=self.faults,
+            recorder=self.recorder,
+            metrics=self.metrics,
+        )
         self.node_mailboxes = [
             self.sim.new_mailbox(f"node{n}", node=n) for n in range(config.n_nodes)
         ]
@@ -141,6 +156,8 @@ class ClusterRuntime:
             worker_cores=worker_cores,
             aux_pids=getattr(strategy, "aux_pids", ()),
             slo_target_seconds=cfg.slo_ms / 1e3,
+            metrics=self.metrics,
+            trace=self.recorder,
         ).build()
         return D, I, report
 

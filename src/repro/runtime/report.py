@@ -10,14 +10,56 @@ so report semantics can never drift between strategies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, fields
+from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simmpi.engine import SimulationResult
 from repro.simmpi.trace import aggregate_spans, aggregate_stats
 
-__all__ = ["SearchReport", "ReportBuilder"]
+__all__ = ["SearchReport", "ReportBuilder", "REPORT_SCHEMA"]
+
+#: schema version stamped on SearchReport.to_dict() payloads
+REPORT_SCHEMA = "repro.search_report/v1"
+
+# array-valued SearchReport fields and how from_dict() rebuilds them
+_INT_ARRAY_FIELDS = ("dispatch_counts",)
+_FLOAT_ARRAY_FIELDS = (
+    "query_latencies",
+    "core_busy_seconds",
+    "completeness",
+    "arrival_times",
+    "dispatch_times",
+    "complete_times",
+)
+_FLOAT_ARRAY_2D_FIELDS = ("queue_depth_timeline",)
+
+
+def _json_safe(value):
+    """Recursively convert to strict-JSON-safe python: numpy scalars to
+    builtins, non-finite floats (NaN rows of shed queries) to None."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _float_array(values, ndim: int = 1) -> np.ndarray:
+    """Rebuild a float array from a JSON list, None entries -> NaN."""
+    if ndim == 2:
+        rows = [[math.nan if x is None else float(x) for x in row] for row in values]
+        return np.asarray(rows, dtype=np.float64).reshape(-1, 2)
+    return np.asarray(
+        [math.nan if x is None else float(x) for x in values], dtype=np.float64
+    )
 
 
 @dataclass
@@ -115,6 +157,62 @@ class SearchReport:
     complete_times: np.ndarray | None = None
     #: the run's SLO target in virtual seconds (0 = no target set)
     slo_target_seconds: float = 0.0
+    #: unified metrics-registry dump for the run (see repro.obs.metrics):
+    #: {"counters": ..., "gauges": ..., "histograms": ...}
+    metrics: dict = field(default_factory=dict)
+    #: the run's :class:`~repro.obs.trace.TraceRecorder` when observability
+    #: was enabled (None otherwise); excluded from :meth:`to_dict`
+    trace: Any = field(default=None, repr=False, compare=False)
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Strict-JSON-safe dict: numpy arrays become lists, NaN entries
+        (shed/rejected queries) become None.  Round-trips via
+        :meth:`from_dict`; the live ``trace`` handle is excluded."""
+        out: dict = {"schema": REPORT_SCHEMA}
+        for f in fields(self):
+            if f.name == "trace":
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, np.ndarray):
+                value = value.tolist()
+            elif f.name == "fault_events":
+                value = [
+                    {"time": e.time, "kind": e.kind, "detail": dict(e.detail)}
+                    for e in value
+                ]
+            out[f.name] = _json_safe(value)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchReport":
+        """Inverse of :meth:`to_dict` (None entries back to NaN)."""
+        known = {f.name for f in fields(cls)} - {"trace"}
+        kwargs = {}
+        for name, value in data.items():
+            if name not in known:
+                continue
+            if value is not None:
+                if name in _INT_ARRAY_FIELDS:
+                    value = np.asarray(value, dtype=np.int64)
+                elif name in _FLOAT_ARRAY_FIELDS:
+                    value = _float_array(value)
+                elif name in _FLOAT_ARRAY_2D_FIELDS:
+                    value = _float_array(value, ndim=2)
+                elif name == "fault_events":
+                    from repro.faults.injector import FaultEvent
+
+                    value = tuple(
+                        FaultEvent(
+                            time=e["time"], kind=e["kind"], detail=e.get("detail") or {}
+                        )
+                        for e in value
+                    )
+                elif name == "crashed_pids":
+                    value = tuple(value)
+            kwargs[name] = value
+        return cls(**kwargs)
 
     @property
     def queue_seconds(self) -> np.ndarray | None:
@@ -211,6 +309,8 @@ class ReportBuilder:
         worker_cores: dict[int, int] | None = None,
         aux_pids: tuple = (),
         slo_target_seconds: float = 0.0,
+        metrics=None,
+        trace=None,
     ) -> None:
         self.out = out
         self.coordinator_pids = list(coordinator_pids)
@@ -222,6 +322,34 @@ class ReportBuilder:
         #: arrival source idling between arrivals never skews the breakdown
         self.aux_pids = set(aux_pids)
         self.slo_target_seconds = float(slo_target_seconds)
+        #: the run-wide MetricsRegistry (engine + shared coordinator counts)
+        self.metrics = metrics
+        #: the run's TraceRecorder, passed through to the report
+        self.trace = trace
+
+    def _finish(self, report: SearchReport, creports: list) -> SearchReport:
+        """Attach the unified observability artifacts to a built report.
+
+        Distinct registries (the run-wide one plus any private
+        per-coordinator ones, deduplicated by identity — the master-worker
+        strategy shares a single registry, the owners each carry their own)
+        merge into one dump, and per-query latencies feed the latency
+        histogram."""
+        merged = MetricsRegistry()
+        seen: set[int] = set()
+        for registry in [self.metrics] + [getattr(r, "registry", None) for r in creports]:
+            if registry is None or id(registry) in seen:
+                continue
+            seen.add(id(registry))
+            merged.merge(registry)
+        if report.query_latencies is not None:
+            hist = merged.histogram("query.latency_seconds")
+            for lat in report.query_latencies:
+                if np.isfinite(lat):
+                    hist.observe(float(lat))
+        report.metrics = merged.dump()
+        report.trace = self.trace
+        return report
 
     def _core_busy(self) -> np.ndarray | None:
         """Observed busy seconds per core: compute plus active send/recv/
@@ -247,7 +375,7 @@ class ReportBuilder:
         ]
 
         if not creports:  # every coordinator crashed: nothing was answered
-            return SearchReport(
+            return self._finish(SearchReport(
                 total_seconds=out.makespan,
                 n_queries=self.n_queries,
                 tasks=0,
@@ -260,7 +388,7 @@ class ReportBuilder:
                 completeness=np.zeros(self.n_queries),
                 fault_events=tuple(out.fault_events),
                 crashed_pids=tuple(out.crashed_pids),
-            )
+            ), creports)
 
         tasks = sum(r.tasks_sent for r in creports)
         task_messages = sum(r.batches_sent for r in creports)
@@ -279,7 +407,7 @@ class ReportBuilder:
             getattr(creports[0], "queue_depth_timeline", None) if len(creports) == 1 else None
         )
 
-        return SearchReport(
+        return self._finish(SearchReport(
             total_seconds=out.makespan,
             n_queries=self.n_queries,
             tasks=int(tasks),
@@ -331,4 +459,4 @@ class ReportBuilder:
                 getattr(creports[0], "complete_times", None) if len(creports) == 1 else None
             ),
             slo_target_seconds=self.slo_target_seconds,
-        )
+        ), creports)

@@ -101,7 +101,7 @@ class MasterWorkerStrategy(DispatchStrategy):
         # run (the master is the only dispatcher in this strategy), in-flight
         # tasks weighted by the cost model's per-search estimate
         task_seconds = estimate_task_seconds(cfg, job)
-        tracker = LoadTracker(cfg.n_cores, task_seconds)
+        tracker = LoadTracker(cfg.n_cores, task_seconds, metrics=rt.metrics)
         selector = make_selector(cfg.replica_selector, job.workgroups, tracker, seed=cfg.seed)
 
         # open-loop serving: the arrival schedule and the master-side
@@ -119,6 +119,7 @@ class MasterWorkerStrategy(DispatchStrategy):
                 cache_mode=cfg.cache_mode,
                 dim=int(job.Q.shape[1]),
                 seed=cfg.seed,
+                metrics=rt.metrics,
             )
 
         # the coordinator core (repro.core.coordinator): the plain pipeline
@@ -139,6 +140,7 @@ class MasterWorkerStrategy(DispatchStrategy):
                     task_seconds,
                     selector=selector,
                     serving=serving_state,
+                    metrics=rt.metrics,
                 )
                 return (yield from harness.run(ctx))
         elif serving_state is not None:
@@ -154,6 +156,7 @@ class MasterWorkerStrategy(DispatchStrategy):
                     window_holder[0],
                     serving_state,
                     selector=selector,
+                    metrics=rt.metrics,
                 )
                 return (yield from pipeline.run(ctx))
         else:
@@ -168,6 +171,7 @@ class MasterWorkerStrategy(DispatchStrategy):
                     rt.node_mailboxes,
                     window_holder[0],
                     selector=selector,
+                    metrics=rt.metrics,
                 )
                 return (yield from pipeline.run(ctx))
 

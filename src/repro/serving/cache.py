@@ -30,13 +30,32 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+
 __all__ = ["CACHE_MODES", "ResultCache"]
 
 CACHE_MODES = ("exact", "near")
 
 
+def _reg_counter(metric: str):
+    """Property reading/writing a named registry counter (so ``+=`` works)."""
+
+    def fget(self):
+        return self.registry.counter(metric).value
+
+    def fset(self, value):
+        self.registry.counter(metric).value = value
+
+    return property(fget, fset)
+
+
 class ResultCache:
-    """LRU map from query key to a finished ``(distances, ids)`` row."""
+    """LRU map from query key to a finished ``(distances, ids)`` row.
+
+    The hit/miss/stale/eviction ledgers are ``cache.*`` instruments in a
+    :class:`MetricsRegistry`; sharing the run-wide registry makes them
+    the counters the coordinator report and metrics dump expose.
+    """
 
     def __init__(
         self,
@@ -45,6 +64,7 @@ class ResultCache:
         dim: int | None = None,
         n_bits: int = 16,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
@@ -53,10 +73,7 @@ class ResultCache:
         self.capacity = int(capacity)
         self.mode = mode
         self.version = 0
-        self.hits = 0
-        self.misses = 0
-        self.stale = 0
-        self.evictions = 0
+        self.registry = metrics if metrics is not None else MetricsRegistry()
         #: (version, (dists, ids)) by key, in LRU order (oldest first)
         self._entries: OrderedDict[bytes, tuple[int, tuple]] = OrderedDict()
         if mode == "near":
@@ -65,6 +82,11 @@ class ResultCache:
             rng = np.random.default_rng(np.random.SeedSequence([seed, 0xCA]))
             #: coarse quantizer: random hyperplane normals, one sign bit each
             self._planes = rng.normal(size=(int(dim), int(n_bits)))
+
+    hits = _reg_counter("cache.hits")
+    misses = _reg_counter("cache.misses")
+    stale = _reg_counter("cache.stale")
+    evictions = _reg_counter("cache.evictions")
 
     def __len__(self) -> int:
         return len(self._entries)

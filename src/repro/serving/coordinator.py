@@ -62,6 +62,7 @@ class ServingPipeline:
         rma_window,
         serving: ServingState,
         selector: ReplicaSelector | None = None,
+        metrics=None,
     ) -> None:
         self.config = config
         self.queries = queries
@@ -69,7 +70,7 @@ class ServingPipeline:
         self.node_mailboxes = node_mailboxes
         self.rma_window = rma_window
         self.serving = serving
-        self.report = MasterReport(config.n_cores)
+        self.report = MasterReport(config.n_cores, registry=metrics)
         if selector is None:
             selector = PrimarySelector(workgroups)
         self.selector = selector
@@ -88,11 +89,12 @@ class ServingPipeline:
 
     # -- event handlers ------------------------------------------------------
 
-    def _on_arrival(self, payload) -> None:
+    def _on_arrival(self, ctx: Context, payload) -> None:
         state = self.serving
         _, qid, _t = payload
         state.consumed += 1
         outcome, dropped = state.admission.offer(qid)
+        ctx.trace_instant("arrive", query_id=int(qid), outcome=outcome)
         if outcome == "rejected":
             state.drop(qid)
         elif outcome == "shed":
@@ -105,6 +107,7 @@ class ServingPipeline:
             return
         state = self.serving
         state.timeline.note_complete(qid, ctx.now)
+        ctx.trace_instant("complete", query_id=int(qid))
         if state.cache is not None:
             slot = self.results[qid]
             key = self._keys.pop(qid, None)
@@ -127,29 +130,33 @@ class ServingPipeline:
         if cache is not None and qid not in self._keys and qid not in self._routes:
             key = cache.key(q)
             row = cache.get(key)
+            ctx.trace_instant("cache_probe", query_id=int(qid), hit=row is not None)
             if row is not None:
                 # hit: the answer is already at the master — serve it
                 # without touching the cluster (zero-cost completion)
                 adm.begin_service()
                 state.timeline.note_dispatch(qid, ctx.now)
+                ctx.trace_instant("admit", query_id=int(qid))
                 d, i = row
                 self.results[qid] = (d.copy(), i.copy())
                 state.timeline.note_complete(qid, ctx.now)
+                ctx.trace_instant("complete", query_id=int(qid), cached=True)
                 self.report.fanouts.append(0)
                 return True
             self._keys[qid] = key
         parts = self._routes.get(qid)
         if parts is None:
-            parts = yield from self.router.route_approx(ctx, q, config.n_probe)
+            parts = yield from self.router.route_approx(ctx, q, config.n_probe, query_id=int(qid))
             self._routes[qid] = parts
         if not all(window.group_has_credit(p) for p in parts):
             return False
         adm.begin_service()
         state.timeline.note_dispatch(qid, ctx.now)
+        ctx.trace_instant("admit", query_id=int(qid))
         self.report.fanouts.append(len(parts))
         self._outstanding[qid] = len(parts)
         for pid_part in parts:
-            with ctx.span("dispatch"):
+            with ctx.span("dispatch", query_id=int(qid), partition=int(pid_part)):
                 core = self.selector.pick(pid_part, ctx.now, exclude=window.blocked(1))
                 yield from window.send_task(ctx, qid, pid_part, core, q)
         return True
@@ -157,14 +164,14 @@ class ServingPipeline:
     def _handle_result(self, ctx: Context, payload):
         merger, window = self.merger, self.window
         if merger.one_sided:
-            merger.settle_credit(payload, window)
+            merger.settle_credit(payload, window, ctx=ctx)
             _, qids_b, _pid = payload
             for qid in qids_b:
                 self._note_settle(ctx, int(qid))
             return
         with ctx.span("reduce"):
             rows, pid_part = yield from merger.merge_payload(ctx, payload)
-        merger.finish_rows(rows, pid_part, window)
+        merger.finish_rows(rows, pid_part, window, ctx=ctx)
 
     # -- the coordinator proc body -------------------------------------------
 
@@ -207,7 +214,7 @@ class ServingPipeline:
                 payload = yield from ctx.wait(req)
                 if req is arrive_req:
                     arrive_req = None
-                    self._on_arrival(payload)
+                    self._on_arrival(ctx, payload)
                     if want_arrival():
                         arrive_req = yield from ctx.post_recv(ctx.mailbox, tag=TAG_ARRIVE)
                 else:
@@ -245,7 +252,7 @@ class ServingPipeline:
                 req = waits[idx]
             if req is arrive_req:
                 arrive_req = None
-                self._on_arrival(payload)
+                self._on_arrival(ctx, payload)
             else:
                 result_req = None
                 yield from self._handle_result(ctx, payload)

@@ -29,13 +29,14 @@ class ServingState:
         cache_mode: str = "exact",
         dim: int | None = None,
         seed: int = 0,
+        metrics=None,
     ) -> None:
         self.schedule = np.asarray(schedule, dtype=np.float64)
         n = int(self.schedule.shape[0])
         self.n_queries = n
-        self.admission = AdmissionQueue(queue_depth, overload_policy)
+        self.admission = AdmissionQueue(queue_depth, overload_policy, metrics=metrics)
         self.cache = (
-            ResultCache(cache_size, mode=cache_mode, dim=dim, seed=seed)
+            ResultCache(cache_size, mode=cache_mode, dim=dim, seed=seed, metrics=metrics)
             if cache_size > 0
             else None
         )

@@ -199,6 +199,7 @@ class Request:
         "source",
         "tag",
         "cancelled",
+        "arrival",
         "_mailbox",
         "_match_source",
         "_match_tag",
@@ -213,6 +214,9 @@ class Request:
         self.payload: Any = None
         self.source: int | None = None
         self.tag: int | None = None
+        #: wire arrival time of the matched message (None until done) — lets
+        #: receivers attribute mailbox queueing delay without wire changes
+        self.arrival: float | None = None
         self._mailbox = mailbox
         self._match_source = source
         self._match_tag = tag
@@ -230,6 +234,7 @@ class Request:
         self.payload = msg.payload
         self.source = msg.source
         self.tag = msg.tag
+        self.arrival = msg.arrival
 
 
 class Event:
@@ -330,20 +335,31 @@ class _SpanScope:
     includes any communication blocking inside the block — and charges no
     virtual time itself, so tracing never perturbs the simulation.  Usable
     inside proc generators (``with`` works across ``yield from``).
+
+    When the simulation carries a :class:`~repro.obs.trace.TraceRecorder`,
+    the span is mirrored into it (with attributes and parent links); the
+    per-proc :class:`~repro.simmpi.trace.ProcStats` accounting is identical
+    with or without a recorder.
     """
 
-    __slots__ = ("_proc", "name", "start")
+    __slots__ = ("_proc", "name", "start", "_recorder", "_attrs")
 
-    def __init__(self, proc: _Proc, name: str):
+    def __init__(self, proc: _Proc, name: str, recorder=None, attrs: dict | None = None):
         self._proc = proc
         self.name = name
         self.start = proc.clock
+        self._recorder = recorder
+        self._attrs = attrs
 
     def __enter__(self) -> "_SpanScope":
+        if self._recorder is not None:
+            self._recorder.begin_span(self._proc.pid, self.name, self._proc.clock, self._attrs)
         return self
 
     def __exit__(self, *exc) -> bool:
         self._proc.stats.add_span(self.name, self._proc.clock - self.start)
+        if self._recorder is not None:
+            self._recorder.end_span(self._proc.pid, self._proc.clock)
         return False
 
 
@@ -400,14 +416,44 @@ class Context:
 
     # -- tracing -------------------------------------------------------------
 
-    def span(self, name: str) -> _SpanScope:
+    def span(self, name: str, **attrs) -> _SpanScope:
         """Open a named tracing span: ``with ctx.span("route"): ...``.
 
         The elapsed virtual interval lands in this proc's
         :attr:`~repro.simmpi.trace.ProcStats.span_time`; see
-        :data:`~repro.simmpi.trace.PHASES` for the standard names.
+        :data:`~repro.simmpi.trace.PHASES` for the standard names.  Keyword
+        ``attrs`` (e.g. ``query_id=qid``) are attached to the span in the
+        distributed trace when one is being recorded; they never affect the
+        ProcStats aggregate.
         """
-        return _SpanScope(self._proc, name)
+        return _SpanScope(self._proc, name, self._sim.recorder, attrs or None)
+
+    @property
+    def trace_active(self) -> bool:
+        """True when a distributed-trace recorder is attached to the run.
+
+        Hot paths use this to skip building attribute dicts when nobody is
+        listening.
+        """
+        return self._sim.recorder is not None
+
+    def trace_instant(self, name: str, **attrs) -> None:
+        """Record a zero-width trace marker (no-op without a recorder).
+
+        A plain method, not a syscall: it charges no virtual time and never
+        yields, so call sites need no ``yield from``.
+        """
+        recorder = self._sim.recorder
+        if recorder is not None:
+            recorder.instant(self._proc.pid, name, self._proc.clock, attrs or None)
+
+    def trace_complete(self, name: str, start: float, end: float, **attrs) -> None:
+        """Record an already-elapsed interval (e.g. a measured stall) in the
+        distributed trace only — never in ProcStats (no-op without a
+        recorder; charges no virtual time)."""
+        recorder = self._sim.recorder
+        if recorder is not None:
+            recorder.complete_span(self._proc.pid, name, start, end, attrs or None)
 
     # -- events --------------------------------------------------------------
 
@@ -511,6 +557,8 @@ class Simulation:
         cost: CostModel | None = None,
         max_events: int = 200_000_000,
         faults=None,
+        recorder=None,
+        metrics=None,
     ) -> None:
         self.network = network or NetworkModel()
         self.cost = cost or CostModel()
@@ -518,6 +566,13 @@ class Simulation:
         #: optional :class:`~repro.faults.FaultInjector` (duck-typed to
         #: avoid a package cycle); None = perfect fabric
         self.faults = faults
+        #: optional :class:`~repro.obs.trace.TraceRecorder`; recording is
+        #: pure bookkeeping (no clock/randomness effects), so attaching one
+        #: is bit-identity-neutral
+        self.recorder = recorder
+        #: optional :class:`~repro.obs.metrics.MetricsRegistry`, filled with
+        #: engine-level totals (events, messages, bytes) at the end of run()
+        self.metrics = metrics
         self._procs: list[_Proc] = []
         self._runq: list[tuple[float, int, int]] = []
         self._seq = itertools.count()
@@ -552,6 +607,8 @@ class Simulation:
             )
         proc.gen = gen
         self._procs.append(proc)
+        if self.recorder is not None:
+            self.recorder.register_proc(pid, proc.name, node)
         return pid
 
     def mailbox_of(self, pid: int) -> Mailbox:
@@ -602,7 +659,7 @@ class Simulation:
             raise DeadlockError(
                 f"{len(unfinished)} proc(s) blocked forever: {desc}"
             )
-        return SimulationResult(
+        result = SimulationResult(
             makespan=max((p.clock for p in self._procs), default=0.0),
             clocks={p.pid: p.clock for p in self._procs},
             results={p.pid: p.result for p in self._procs},
@@ -611,6 +668,21 @@ class Simulation:
             crashed_pids=tuple(p.pid for p in self._procs if p.state == _CRASHED),
             fault_events=tuple(self.faults.events) if self.faults is not None else (),
         )
+        if self.metrics is not None:
+            # filled once at the end — the event loop itself never touches
+            # the registry, so metrics cannot perturb the hot path
+            self.metrics.counter("sim.events").value += n_events
+            self.metrics.counter("sim.msgs_sent").value += sum(
+                s.msgs_sent for s in result.stats.values()
+            )
+            self.metrics.counter("sim.bytes_sent").value += sum(
+                s.bytes_sent for s in result.stats.values()
+            )
+            self.metrics.counter("sim.rma_ops").value += sum(
+                s.rma_ops for s in result.stats.values()
+            )
+            self.metrics.gauge("sim.makespan_seconds").set(result.makespan)
+        return result
 
     # -- internals ---------------------------------------------------------------
 

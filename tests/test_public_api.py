@@ -17,11 +17,13 @@ EXPECTED = [
     "HnswIndex",
     "HnswParams",
     "KDTree",
+    "MetricsRegistry",
     "PartitionRouter",
     "ReplicaSelector",
     "Searcher",
     "SearchReport",
     "SystemConfig",
+    "TraceRecorder",
     "VPTree",
     "Workgroups",
     "__version__",
