@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test lint bench bench-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke bench-pipeline pipeline-smoke bench-serving serving-smoke obs-smoke examples faults-demo clean
+.PHONY: install test lint bench bench-smoke bench-pq pq-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke bench-pipeline pipeline-smoke bench-serving serving-smoke obs-smoke examples faults-demo clean
 
 # smoke artifacts are throwaway CI outputs — they land in .benchmarks/
 # (gitignored), never at the repo root next to the tracked trajectories
@@ -20,10 +20,26 @@ lint:
 bench:
 	python benchmarks/bench_hnsw.py
 
-# CI-sized variant: tiny corpus, fails if recall@10 drops below the floor
+# CI-sized variant: tiny corpus, fails if recall@10 drops below the floor.
+# The second leg disables the compiled kernels (CC=/bin/false; fresh TMPDIR
+# so the .so cache can't satisfy the load) and must stay green too — the
+# pure-python fallback is a supported configuration, not a degraded one.
 bench-smoke:
 	mkdir -p $(SMOKE_DIR)
 	python benchmarks/bench_hnsw.py --tiny --min-recall 0.95 --out $(SMOKE_DIR)/BENCH_hnsw_smoke.json
+	TMPDIR=$$(mktemp -d) CC=/bin/false python benchmarks/bench_hnsw.py --tiny --min-recall 0.95 --out $(SMOKE_DIR)/BENCH_hnsw_smoke_nonative.json
+
+# IVF-PQ fast-scan benchmark: ADC scan throughput vs the pre-kernel path,
+# recall parity, and the batch amortization curve (trajectory recorded in
+# BENCH_pq.json); fails if the scan speedup drops below 2x at equal recall
+bench-pq:
+	python benchmarks/bench_pq.py --min-speedup 2.0
+
+# CI-sized variant plus the PQ contract tests
+pq-smoke:
+	mkdir -p $(SMOKE_DIR)
+	python benchmarks/bench_pq.py --smoke --min-speedup 1.5 --min-recall 0.25 --out $(SMOKE_DIR)/BENCH_pq_smoke.json
+	pytest tests/test_pq.py tests/test_hnsw_native_build.py -q
 
 # replica-selector sweep under a Zipf-skewed workload; fails if the
 # least_loaded makespan improvement at the headline replication factor

@@ -169,6 +169,9 @@ def run(args: argparse.Namespace) -> dict:
 TRIM_FIELDS = {
     "created": "created",
     "config": "config",
+    # the full build block (seconds + dist_evals, not just the headline
+    # points_per_s) so the build-speedup trajectory is reconstructable
+    "build": "build",
     "build_points_per_s": "build.points_per_s",
     "single_qps": "search.single_qps",
     "batched_qps": "search.batched_qps",

@@ -1,0 +1,316 @@
+"""IVF-PQ fast-scan benchmark: ADC scan throughput, recall, amortization.
+
+The ADC scan is the inner loop of every IVF-PQ query: probe ``n_probe``
+inverted lists and rank their codes by table lookups.  The fast-scan
+layer (``repro.pq.kernels`` + ``_pqscan.c``) restructures that loop —
+transposed code layout, one table per query reused across lists, a
+blocked C kernel — and this harness measures what it bought, writing
+``BENCH_pq.json`` at the repo root:
+
+- fit seconds (coarse k-means + PQ training + list building),
+- legacy qps: the pre-kernel scan reimplemented here verbatim (per-probed-
+  list ``adc_table`` rebuild + fancy-indexing gather over row-major codes),
+- single-query qps through ``IVFPQIndex.knn_search`` (the fast-scan path),
+- batched qps at several batch sizes (``knn_search_batch`` groups scans
+  by cell, so bigger batches amortize table builds and re-walk cached
+  code bytes — the amortization curve),
+- recall@k against exact brute force for both paths (they rank the same
+  quantized distances, so recall must match),
+- the ADC speedup (legacy seconds / fast-scan seconds) at equal recall,
+- a SHA-256 checksum of the fast-scan (D, I) results.
+
+A previous ``BENCH_pq.json`` is folded in as ``previous`` + ``history``
+via the shared trajectory plumbing.  Run via ``make bench-pq`` (full
+size) or ``make pq-smoke`` (``--smoke``; CI enforces the speedup and
+recall-parity floors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from trajectory import (  # noqa: E402
+    fold_previous,
+    load_previous,
+    missing_keys,
+    results_checksum,
+)
+
+from repro.datasets import brute_force_knn  # noqa: E402
+from repro.pq import IVFPQIndex  # noqa: E402
+
+#: keys every BENCH_pq.json must provide (CI's pq-smoke checks these)
+REQUIRED_KEYS = (
+    "schema",
+    "config",
+    "fit.seconds",
+    "scan.legacy_qps",
+    "scan.single_qps",
+    "scan.batched_qps",
+    "scan.speedup_vs_legacy",
+    "recall.fast_scan",
+    "recall.legacy",
+    "results_sha256",
+)
+
+
+def make_dataset(n: int, dim: int, n_queries: int, seed: int):
+    """Seeded clustered corpus + queries (queries are perturbed base points)."""
+    rng = np.random.default_rng([seed, 0xADC5])
+    n_clusters = 32
+    centers = rng.normal(0.0, 4.0, size=(n_clusters, dim)).astype(np.float32)
+    assign = rng.integers(0, n_clusters, size=n)
+    X = (centers[assign] + rng.normal(0.0, 1.0, size=(n, dim))).astype(np.float32)
+    picks = rng.choice(n, size=n_queries, replace=False)
+    Q = (X[picks] + rng.normal(0.0, 0.1, size=(n_queries, dim))).astype(np.float32)
+    return X, Q
+
+
+def legacy_knn_search(index: IVFPQIndex, query: np.ndarray, k: int):
+    """The pre-kernel ADC path, reimplemented verbatim for comparison.
+
+    Per probed list: rebuild the distance table (the old per-call
+    ``adc_distances``) and gather one table entry per (vector, subspace)
+    from the row-major codes.  Ranking semantics are identical to the
+    fast-scan path; only the scan mechanics differ.
+    """
+    q = np.asarray(query, dtype=np.float32)
+    qf = q.astype(np.float64)
+    cd = ((index._coarse.centroids - qf) ** 2).sum(axis=1)
+    probe = np.argsort(cd)[: min(index.n_probe, index.n_cells)]
+    m = index.pq.n_subspaces
+    all_d: list[np.ndarray] = []
+    all_i: list[np.ndarray] = []
+    for c in probe:
+        codes = index._lists_codes[c]
+        if len(codes) == 0:
+            continue
+        table = index.pq.adc_table(q)  # rebuilt per probed list, as the old code did
+        all_d.append(table[np.arange(m)[None, :], codes.astype(np.int64)].sum(axis=1))
+        all_i.append(index._lists_ids[c])
+    if not all_d:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    d = np.concatenate(all_d)
+    ids = np.concatenate(all_i)
+    order = np.lexsort((ids, d))[:k]
+    return np.sqrt(d[order]), ids[order]
+
+
+def _recall(ids: np.ndarray, gt_i: np.ndarray, k: int) -> float:
+    hits = sum(len(set(ids[i][ids[i] >= 0]) & set(gt_i[i])) for i in range(len(ids)))
+    return hits / (len(ids) * k)
+
+
+def run(args: argparse.Namespace) -> dict:
+    X, Q = make_dataset(args.n, args.dim, args.n_queries, args.seed)
+    gt_d, gt_i = brute_force_knn(X, Q, args.k, metric="l2")
+
+    index = IVFPQIndex(
+        n_cells=args.n_cells,
+        n_subspaces=args.n_subspaces,
+        n_centroids=args.n_centroids,
+        seed=args.seed,
+        n_probe=args.n_probe,
+    )
+    t0 = time.perf_counter()
+    index.fit(X)
+    fit_seconds = time.perf_counter() - t0
+
+    # legacy pass (the pre-kernel scan)
+    t0 = time.perf_counter()
+    legacy = [legacy_knn_search(index, Q[i], args.k) for i in range(len(Q))]
+    legacy_seconds = time.perf_counter() - t0
+    legacy_ids = np.full((len(Q), args.k), -1, dtype=np.int64)
+    for i, (_, nn) in enumerate(legacy):
+        legacy_ids[i, : len(nn)] = nn
+
+    # fast-scan single-query pass
+    t0 = time.perf_counter()
+    singles = [index.knn_search(Q[i], args.k) for i in range(len(Q))]
+    single_seconds = time.perf_counter() - t0
+    D = np.full((len(Q), args.k), np.inf, dtype=np.float64)
+    ids = np.full((len(Q), args.k), -1, dtype=np.int64)
+    for i, (d, nn) in enumerate(singles):
+        D[i, : len(d)] = d
+        ids[i, : len(nn)] = nn
+
+    # batched passes: table builds amortize and list bytes stay cache-warm
+    # as the batch grows; the curve records qps per batch size
+    batch_qps: dict[str, float] = {}
+    Db = idsb = None
+    for bs in args.batch_sizes:
+        bs = min(bs, len(Q))
+        t0 = time.perf_counter()
+        Ds, Is = [], []
+        for lo in range(0, len(Q), bs):
+            d, nn = index.knn_search_batch(Q[lo : lo + bs], args.k)
+            Ds.append(d)
+            Is.append(nn)
+        secs = time.perf_counter() - t0
+        batch_qps[str(bs)] = round(len(Q) / secs, 1)
+        Db, idsb = np.concatenate(Ds), np.concatenate(Is)
+    batched_qps = max(batch_qps.values())
+
+    if Db is not None and not (np.array_equal(ids, idsb) and np.array_equal(D, Db)):
+        print("WARNING: batched results differ from single-query results", file=sys.stderr)
+
+    recall_fast = _recall(ids, gt_i, args.k)
+    recall_legacy = _recall(legacy_ids, gt_i, args.k)
+
+    report = {
+        "schema": 1,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": {
+            "n": args.n,
+            "dim": args.dim,
+            "n_queries": args.n_queries,
+            "k": args.k,
+            "n_cells": args.n_cells,
+            "n_subspaces": args.n_subspaces,
+            "n_centroids": args.n_centroids,
+            "n_probe": args.n_probe,
+            "seed": args.seed,
+        },
+        "fit": {"seconds": round(fit_seconds, 4)},
+        "scan": {
+            "legacy_seconds": round(legacy_seconds, 4),
+            "legacy_qps": round(len(Q) / legacy_seconds, 1),
+            "single_seconds": round(single_seconds, 4),
+            "single_qps": round(len(Q) / single_seconds, 1),
+            "batch_qps": batch_qps,
+            "batched_qps": batched_qps,
+            "speedup_vs_legacy": round(legacy_seconds / single_seconds, 2),
+        },
+        "recall": {
+            "fast_scan": round(recall_fast, 4),
+            "legacy": round(recall_legacy, 4),
+        },
+        "results_sha256": results_checksum(D, ids),
+    }
+    return report
+
+
+#: fields a previous run keeps when folded into the trajectory history
+TRIM_FIELDS = {
+    "created": "created",
+    "config": "config",
+    "scan": "scan",
+    "recall_fast_scan": "recall.fast_scan",
+    "results_sha256": "results_sha256",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description="IVF-PQ fast-scan benchmark")
+    ap.add_argument("--n", type=int, default=20_000, help="corpus size")
+    ap.add_argument("--dim", type=int, default=32)
+    ap.add_argument("--n-queries", type=int, default=200, dest="n_queries")
+    ap.add_argument("--k", type=int, default=10)
+    ap.add_argument("--n-cells", type=int, default=64, dest="n_cells")
+    ap.add_argument("--n-subspaces", type=int, default=8, dest="n_subspaces")
+    ap.add_argument("--n-centroids", type=int, default=256, dest="n_centroids")
+    ap.add_argument("--n-probe", type=int, default=8, dest="n_probe")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="+",
+        default=[1, 8, 32, 200],
+        dest="batch_sizes",
+        help="batch sizes for the amortization curve (last one sets batched_qps ceiling)",
+    )
+    ap.add_argument("--out", default="BENCH_pq.json")
+    ap.add_argument(
+        "--smoke", action="store_true", help="CI smoke size (n=3000, 40 queries)"
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        dest="min_speedup",
+        help="exit non-zero if the fast-scan speedup vs legacy falls below this",
+    )
+    ap.add_argument(
+        "--min-recall",
+        type=float,
+        default=None,
+        dest="min_recall",
+        help="exit non-zero if fast-scan recall@k falls below this floor",
+    )
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.n, args.n_queries = 3000, 40
+        args.n_centroids = min(args.n_centroids, 64)
+
+    report = run(args)
+    prev = load_previous(args.out)
+    report = fold_previous(report, args.out, trim_fields=TRIM_FIELDS)
+    if prev is not None and prev.get("config") == report["config"]:
+        report["bit_identical_to_previous"] = (
+            prev.get("results_sha256") == report["results_sha256"]
+        )
+
+    missing = missing_keys(report, REQUIRED_KEYS)
+    if missing:
+        print(f"ERROR: benchmark report is missing keys: {missing}", file=sys.stderr)
+        return 2
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    s, r = report["scan"], report["recall"]
+    print(f"fit     {report['fit']['seconds']:.2f}s")
+    print(f"legacy  {s['legacy_qps']:>12,.0f} q/s     (pre-kernel gather scan)")
+    print(f"single  {s['single_qps']:>12,.0f} q/s     ({s['speedup_vs_legacy']:.2f}x vs legacy)")
+    for bs, qps in s["batch_qps"].items():
+        print(f"batch={bs:<4} {qps:>11,.0f} q/s")
+    print(f"recall@{report['config']['k']} = {r['fast_scan']:.4f} (legacy {r['legacy']:.4f})")
+    if "bit_identical_to_previous" in report:
+        ident = "bit-identical" if report["bit_identical_to_previous"] else "DIFFERENT results"
+        print(f"vs previous run: {ident}")
+    print(f"wrote {args.out}")
+
+    rc = 0
+    if args.min_speedup is not None and s["speedup_vs_legacy"] < args.min_speedup:
+        print(
+            f"ERROR: speedup {s['speedup_vs_legacy']:.2f}x below floor {args.min_speedup}",
+            file=sys.stderr,
+        )
+        rc = 3
+    if args.min_recall is not None and r["fast_scan"] < args.min_recall:
+        print(
+            f"ERROR: recall@{report['config']['k']} {r['fast_scan']:.4f} "
+            f"below floor {args.min_recall}",
+            file=sys.stderr,
+        )
+        rc = 3
+    if r["fast_scan"] < r["legacy"] - 1e-9:
+        print(
+            f"ERROR: fast-scan recall {r['fast_scan']:.4f} fell below "
+            f"legacy recall {r['legacy']:.4f} — scan changed answers",
+            file=sys.stderr,
+        )
+        rc = 4
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

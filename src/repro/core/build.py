@@ -29,6 +29,7 @@ from repro.core.config import SystemConfig
 from repro.core.partition import NodeStore, Partition
 from repro.core.replication import Workgroups
 from repro.hnsw.index import HnswIndex
+from repro.obs.metrics import MetricsRegistry
 from repro.simmpi.comm import Comm
 from repro.simmpi.engine import Simulation
 from repro.utils.rng import rng_for
@@ -56,6 +57,9 @@ class BuildOutput:
     replication_seconds: float
     #: real points per partition
     partition_sizes: list[int]
+    #: build-phase instruments (hnsw.build.*); None when reconstituted
+    #: from saved artifacts, where the build ran in another process
+    metrics: MetricsRegistry | None = None
 
 
 def _builder_program(ctx, world: Comm, config: SystemConfig, X, chunk_ids, work_scale):
@@ -189,6 +193,22 @@ def run_build(config: SystemConfig, X: np.ndarray) -> BuildOutput:
     t_partition = max(r["t_partition"] for r in results)
     t_hnsw = max(r["t_hnsw"] for r in results)
     t_replicated = max(r["t_replicated"] for r in results)
+
+    # build-phase instruments, merged into the runtime registry at query
+    # time so build cost shows up in --metrics-out dumps like search cost
+    metrics = MetricsRegistry()
+    real_indexes = [
+        p.index for p in partitions.values() if getattr(p, "index", None) is not None
+    ]
+    metrics.counter("hnsw.build.dist_evals").inc(
+        sum(ix.n_dist_evals for ix in real_indexes)
+    )
+    metrics.counter("hnsw.build.shrink_ops").inc(
+        sum(getattr(ix, "n_shrink_ops", 0) for ix in real_indexes)
+    )
+    metrics.gauge("hnsw.build.native_build_active").set(
+        int(any(getattr(ix, "native_build_active", False) for ix in real_indexes))
+    )
     return BuildOutput(
         router=router,
         partitions=partitions,
@@ -199,4 +219,5 @@ def run_build(config: SystemConfig, X: np.ndarray) -> BuildOutput:
         vptree_seconds=t_partition,
         replication_seconds=max(0.0, t_replicated - t_partition - t_hnsw),
         partition_sizes=[partitions[r].n_points for r in range(P)],
+        metrics=metrics,
     )

@@ -144,6 +144,10 @@ class DistributedANN:
 
         build = self._build
         runtime = ClusterRuntime(self.config)
+        if build.metrics is not None:
+            # fold the build-phase hnsw.build.* instruments into the
+            # runtime registry so every report/dump carries them
+            runtime.metrics.merge(build.metrics)
         return runtime.run_search(
             strategy_for(self.config),
             build.router,

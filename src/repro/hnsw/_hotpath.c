@@ -224,3 +224,274 @@ void l2sq32_batch(const float *A, const float *B, i64 n, int32_t do_sqrt,
         out[i] = do_sqrt ? sqrtf(v) : v;
     }
 }
+
+/* ====================================================================
+ * Native insert path (INSERT, paper Alg. 1): greedy descent, beam
+ * search, neighbor selection (SELECT-NEIGHBORS, simple or Alg. 4
+ * heuristic) and link shrinking, batched over many points per call.
+ *
+ * Second bit-identity contract: the python selection/shrink paths
+ * compute pairwise candidate distances through scipy's cdist on the
+ * float32 point rows, which accumulates (double(a)-double(b))^2
+ * sequentially in double and (for l2) takes the sqrt in double.
+ * ``l2d32`` reproduces that exactly (pinned by ``l2d32_batch`` against
+ * cdist at load time), so keep/discard decisions match the python
+ * heuristic bit for bit.  Query->candidate distances stay on the
+ * float32 einsum kernel (``l2sq32``), exactly like the python side.
+ * ==================================================================== */
+
+/* double-accumulation dim-32 distance, cdist-compatible rounding */
+static inline double l2d32(const float *restrict a, const float *restrict b,
+                           int32_t do_sqrt)
+{
+    double acc = 0.0;
+    for (int k = 0; k < 32; k++) {
+        double d = (double)a[k] - (double)b[k];
+        acc += d * d;
+    }
+    return do_sqrt ? sqrt(acc) : acc;
+}
+
+/* self-check helper: batch cdist-style distances for bit-comparison */
+void l2d32_batch(const float *A, const float *B, i64 n, int32_t do_sqrt,
+                 double *out)
+{
+    for (i64 i = 0; i < n; i++)
+        out[i] = l2d32(A + i * 32, B + i * 32, do_sqrt);
+}
+
+/* SELECT-NEIGHBORS over n candidates pre-sorted ascending by (d, id).
+ * Mirrors select.py: simple selection takes the closest m; the
+ * heuristic keeps a candidate iff no already-kept candidate is at
+ * least as close to it as the query is (r[i] <= d_i), stops once m
+ * are kept, and with keep_pruned backfills the first examined
+ * discards.  The output (ascending by (d, id), like the python
+ * position-order merge) goes to (out_d, out_i); returns its length.
+ *
+ * ``rows`` is scratch for up to m kept rows of lazily-computed
+ * pairwise distances (only positions after the row's owner are ever
+ * read, matching the lazy row kernel); ``flags`` marks kept
+ * positions. */
+static i64 select_links(const float *X, const double *cand_d,
+                        const int32_t *cand_i, i64 n, i64 m,
+                        int32_t heuristic, int32_t keep_pruned,
+                        int32_t do_sqrt, double *rows, i64 row_stride,
+                        uint8_t *flags, double *out_d, int32_t *out_i)
+{
+    if (!heuristic) {
+        i64 take = n < m ? n : m;
+        for (i64 i = 0; i < take; i++) {
+            out_d[i] = cand_d[i];
+            out_i[i] = cand_i[i];
+        }
+        return take;
+    }
+    i64 kept = 0, examined = n;
+    for (i64 i = 0; i < n; i++) {
+        if (kept >= m) {
+            examined = i;
+            break;
+        }
+        double di = cand_d[i];
+        int hit = 0;
+        for (i64 r = 0; r < kept; r++) {
+            if (rows[r * row_stride + i] <= di) {
+                hit = 1;
+                break;
+            }
+        }
+        if (hit) {
+            flags[i] = 0;
+            continue;
+        }
+        flags[i] = 1;
+        const float *xi = X + (i64)cand_i[i] * 32;
+        for (i64 j = i + 1; j < n; j++)
+            rows[kept * row_stride + j] =
+                l2d32(xi, X + (i64)cand_i[j] * 32, do_sqrt);
+        kept++;
+    }
+    i64 backfill = (keep_pruned && kept < m) ? m - kept : 0;
+    i64 n_out = 0;
+    for (i64 i = 0; i < examined; i++) {
+        if (flags[i]) {
+            out_d[n_out] = cand_d[i];
+            out_i[n_out++] = cand_i[i];
+        } else if (backfill > 0) {
+            out_d[n_out] = cand_d[i];
+            out_i[n_out++] = cand_i[i];
+            backfill--;
+        }
+    }
+    return n_out;
+}
+
+/* Re-select node c's over-full neighbor list down to ``limit`` links
+ * (python _shrink).  Charges the same logical eval count as the
+ * python paths: cnt query distances plus, under the heuristic, the
+ * cnt-candidate cross matrix. */
+static void shrink_node(const float *X, int32_t *nrow, int32_t *cnts, i64 c,
+                        i64 limit, int32_t heuristic, int32_t keep_pruned,
+                        int32_t do_sqrt, double *tmp_d, int32_t *tmp_i,
+                        double *rows, i64 row_stride, uint8_t *flags,
+                        double *out_d, int32_t *out_i, i64 *evals,
+                        i64 *shrinks)
+{
+    i64 cnt = cnts[c];
+    const float *xc = X + c * 32;
+    for (i64 j = 0; j < cnt; j++) {
+        float d32 = l2sq32(xc, X + (i64)nrow[j] * 32);
+        if (do_sqrt)
+            d32 = sqrtf(d32);
+        tmp_d[j] = (double)d32;
+        tmp_i[j] = nrow[j];
+    }
+    *evals += heuristic ? cnt + cnt * (cnt - 1) / 2 : cnt;
+    /* insertion sort ascending by (d, id) == python sorted() on tuples */
+    for (i64 j = 1; j < cnt; j++) {
+        double d = tmp_d[j];
+        int32_t id = tmp_i[j];
+        i64 p = j - 1;
+        while (p >= 0 && pair_lt(d, id, tmp_d[p], tmp_i[p])) {
+            tmp_d[p + 1] = tmp_d[p];
+            tmp_i[p + 1] = tmp_i[p];
+            p--;
+        }
+        tmp_d[p + 1] = d;
+        tmp_i[p + 1] = id;
+    }
+    i64 m_out = select_links(X, tmp_d, tmp_i, cnt, limit, heuristic,
+                             keep_pruned, do_sqrt, rows, row_stride, flags,
+                             out_d, out_i);
+    for (i64 j = 0; j < m_out; j++)
+        nrow[j] = out_i[j];
+    cnts[c] = (int32_t)m_out;
+    (*shrinks)++;
+}
+
+/* Greedy search with beam 1 on one layer (upper-layer descent). */
+static void greedy_step(const float *X, const int32_t *nbrs, i64 stride,
+                        const int32_t *cnts, const float *q, int32_t do_sqrt,
+                        i64 *ep_io, double *epd_io, i64 *evals)
+{
+    i64 ep = *ep_io;
+    double epd = *epd_io;
+    for (;;) {
+        i64 cnt = cnts[ep];
+        if (!cnt)
+            break;
+        const int32_t *row = nbrs + ep * stride;
+        float best = 0.0f;
+        i64 bj = -1;
+        for (i64 j = 0; j < cnt; j++) {
+            float d = l2sq32(X + (i64)row[j] * 32, q);
+            if (do_sqrt)
+                d = sqrtf(d);
+            if (bj < 0 || d < best) { /* strict < == np.argmin first-index */
+                best = d;
+                bj = j;
+            }
+        }
+        *evals += cnt;
+        if ((double)best < epd) {
+            ep = row[bj];
+            epd = (double)best;
+        } else {
+            break;
+        }
+    }
+    *ep_io = ep;
+    *epd_io = epd;
+}
+
+/* Batched INSERT: points n_start..n_start+n_new-1 already stored in X
+ * with their sampled levels in new_levels (and node_level), adjacency
+ * arrays already sized for the final level.  nbrs_ptrs/cnts_ptrs hold
+ * the per-level array addresses (the arrays live in numpy).  All
+ * scratch is caller-provided: cd/ci/rd/ri are the search heaps,
+ * rows/flags and the tmp/ch/sh pairs serve selection and shrinking.  epoch,
+ * entry, eval and shrink counters are passed by reference so the
+ * python side stays the single source of truth between calls. */
+i64 hnsw_insert_batch(const float *X, const int32_t *node_level, i64 n_start,
+                      i64 n_new, const int32_t *new_levels,
+                      const i64 *nbrs_ptrs, const i64 *strides,
+                      const i64 *cnts_ptrs, i64 M, i64 M0, i64 efc,
+                      int32_t heuristic, int32_t keep_pruned, int32_t do_sqrt,
+                      i64 *stamp, i64 *epoch_io, i64 *entry_io, double *cd,
+                      int32_t *ci, double *rd, int32_t *ri, double *rows,
+                      i64 row_stride, uint8_t *flags, double *tmp_d,
+                      int32_t *tmp_i, double *ch_d, int32_t *ch_i,
+                      double *sh_d, int32_t *sh_i, i64 *evals_out,
+                      i64 *shrinks_out)
+{
+    i64 epoch = *epoch_io, entry = *entry_io, evals = 0, shrinks = 0;
+    for (i64 p = 0; p < n_new; p++) {
+        i64 node = n_start + p;
+        i64 level = new_levels[p];
+        if (entry < 0) {
+            entry = node;
+            continue;
+        }
+        const float *q = X + node * 32;
+        i64 ep = entry;
+        i64 top = node_level[ep];
+        float d0 = l2sq32(q, X + ep * 32);
+        if (do_sqrt)
+            d0 = sqrtf(d0);
+        evals++;
+        double epd = (double)d0;
+
+        /* phase 1: greedy descent through layers above the insert level */
+        for (i64 lv = top; lv > level; lv--)
+            greedy_step(X, (const int32_t *)(intptr_t)nbrs_ptrs[lv],
+                        strides[lv], (const int32_t *)(intptr_t)cnts_ptrs[lv],
+                        q, do_sqrt, &ep, &epd, &evals);
+
+        /* phase 2: beam search + connect on layers min(top, level)..0 */
+        i64 start = top < level ? top : level;
+        for (i64 lv = start; lv >= 0; lv--) {
+            int32_t *nbrs = (int32_t *)(intptr_t)nbrs_ptrs[lv];
+            int32_t *cnts = (int32_t *)(intptr_t)cnts_ptrs[lv];
+            i64 stride = strides[lv];
+            i64 limit = lv == 0 ? M0 : M;
+            epoch++;
+            double in_d = epd;
+            int32_t in_i = (int32_t)ep;
+            i64 ev = 0;
+            i64 nres = hnsw_search_layer(X, 32, nbrs, stride, cnts, stamp,
+                                         epoch, q, &in_d, &in_i, 1, efc,
+                                         do_sqrt, cd, ci, rd, ri, &ev);
+            evals += ev;
+            if (heuristic) /* the python _select charge for the cross matrix */
+                evals += nres * (nres - 1) / 2;
+            i64 nch = select_links(X, rd, ri, nres, limit, heuristic,
+                                   keep_pruned, do_sqrt, rows, row_stride,
+                                   flags, ch_d, ch_i);
+            for (i64 t = 0; t < nch; t++)
+                nbrs[node * stride + t] = ch_i[t];
+            cnts[node] = (int32_t)nch;
+            for (i64 t = 0; t < nch; t++) {
+                i64 c = ch_i[t];
+                i64 cc = cnts[c];
+                nbrs[c * stride + cc] = (int32_t)node;
+                cnts[c] = (int32_t)(cc + 1);
+                if (cc + 1 > limit)
+                    shrink_node(X, nbrs + c * stride, cnts, c, limit,
+                                heuristic, keep_pruned, do_sqrt, tmp_d, tmp_i,
+                                rows, row_stride, flags, sh_d, sh_i, &evals,
+                                &shrinks);
+            }
+            if (nch) { /* python: best = min(chosen) (chosen is sorted) */
+                epd = ch_d[0];
+                ep = ch_i[0];
+            }
+        }
+        if (level > top)
+            entry = node;
+    }
+    *epoch_io = epoch;
+    *entry_io = entry;
+    *evals_out = evals;
+    *shrinks_out = shrinks;
+    return n_new;
+}

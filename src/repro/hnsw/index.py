@@ -52,7 +52,7 @@ from repro.hnsw.kernels import (
     fast_self_pairwise_for,
     fast_self_row_for,
 )
-from repro.hnsw.native import native_search_layer_for
+from repro.hnsw.native import native_build_for, native_search_layer_for
 from repro.hnsw.params import HnswParams
 from repro.hnsw.select import select_heuristic, select_heuristic_rows, select_simple
 from repro.metrics import Metric, get_metric
@@ -109,6 +109,8 @@ class HnswIndex:
         self._rng = np.random.default_rng(np.random.SeedSequence([self.params.seed, 0x45F]))
         #: monotone distance-evaluation counter
         self.n_dist_evals = 0
+        #: monotone link-shrink counter (one per over-full list re-selection)
+        self.n_shrink_ops = 0
         # Fast float32 kernels for the metrics whose formula we can inline;
         # avoids the generic path's float64 conversion copy on every call,
         # which dominates build time (profiling-driven, per the HPC guides).
@@ -130,6 +132,16 @@ class HnswIndex:
         self._native = native_search_layer_for(self.metric.name, dim)
         self._native_sqrt = 1 if self.metric.name == "l2" else 0
         self._native_scratch: tuple | None = None
+        # Compiled INSERT (greedy descent + beam search + selection +
+        # shrink in one C call per batch): additionally requires the
+        # cdist-compatible double kernel to pass its self-check, and
+        # candidate extension off (that path walks python-side sets).
+        self._native_build = (
+            native_build_for(self.metric.name, dim)
+            if not self.params.extend_candidates
+            else None
+        )
+        self._native_build_scratch: dict | None = None
         # Incremental shrink cache (see _shrink): per level, node ->
         # (ids, dists, kept_flags, kept_rows, kept_positions) describing the
         # last selection over that node's neighbor list.  Valid only when
@@ -156,6 +168,16 @@ class HnswIndex:
     @property
     def entry_point(self) -> int | None:
         return self._entry
+
+    @property
+    def native_search_active(self) -> bool:
+        """True when the compiled SEARCH-LAYER passed its bit-identity gate."""
+        return self._native is not None
+
+    @property
+    def native_build_active(self) -> bool:
+        """True when the compiled INSERT path passed its bit-identity gates."""
+        return self._native_build is not None
 
     def neighbors(self, node: int, level: int) -> list[int]:
         """Adjacency list of ``node`` at ``level`` (internal ids)."""
@@ -241,6 +263,11 @@ class HnswIndex:
     def add(self, vector: np.ndarray, ext_id: int | None = None) -> int:
         """Insert one point; returns its internal id."""
         q = check_vector(vector, "vector", dim=self.dim)
+        if self._native_build is not None:
+            node = self._n
+            self._grow(node + 1)
+            self._add_items_native(q[np.newaxis, :], None if ext_id is None else [ext_id])
+            return node
         return self._add_prepared(q, ext_id)
 
     def _add_prepared(self, q: np.ndarray, ext_id: int | None) -> int:
@@ -305,8 +332,113 @@ class HnswIndex:
         if ids is not None and len(ids) != X.shape[0]:
             raise ValueError(f"{len(ids)} ids for {X.shape[0]} points")
         self._grow(self._n + X.shape[0])
+        if self._native_build is not None:
+            self._add_items_native(X, ids)
+            return
         for i in range(X.shape[0]):
             self._add_prepared(X[i], None if ids is None else ids[i])
+
+    def _add_items_native(self, X: np.ndarray, ids: Sequence[int] | None) -> None:
+        """Bulk INSERT via the compiled batch helper (bit-identical by contract).
+
+        The python side stays the single source of truth: it stores the
+        points, samples every level (one RNG draw per point, in insert
+        order — exactly the draws the sequential path would make), sizes
+        the per-level adjacency, and hands the C helper raw buffer
+        addresses; the helper returns the updated entry point, visit
+        epoch, and the logical eval/shrink counts.
+        """
+        n0 = self._n
+        n_new = X.shape[0]
+        if n_new == 0:
+            return
+        self._X[n0 : n0 + n_new] = X
+        if ids is None:
+            self._ext[n0 : n0 + n_new] = np.arange(n0, n0 + n_new)
+        else:
+            self._ext[n0 : n0 + n_new] = [int(i) for i in ids]
+        levels = np.array([self._sample_level() for _ in range(n_new)], dtype=np.int32)
+        self._node_level[n0 : n0 + n_new] = levels
+        self._n = n0 + n_new
+        self._ensure_level(int(levels.max()))
+
+        lib = self._native_build
+        nbrs_ptrs = np.array([a.ctypes.data for a in self._nbrs], dtype=np.int64)
+        strides = np.array([a.shape[1] for a in self._nbrs], dtype=np.int64)
+        cnts_ptrs = np.array([a.ctypes.data for a in self._cnts], dtype=np.int64)
+        sc = self._build_scratch(self._n)
+        epoch_io = np.array([self._visit_epoch], dtype=np.int64)
+        entry_io = np.array([-1 if self._entry is None else self._entry], dtype=np.int64)
+        evals_out = np.zeros(1, dtype=np.int64)
+        shrinks_out = np.zeros(1, dtype=np.int64)
+        lib.hnsw_insert_batch(
+            self._X.ctypes.data,
+            self._node_level.ctypes.data,
+            n0,
+            n_new,
+            levels.ctypes.data,
+            nbrs_ptrs.ctypes.data,
+            strides.ctypes.data,
+            cnts_ptrs.ctypes.data,
+            self.params.M,
+            self.params.M0,
+            self.params.ef_construction,
+            1 if self.params.select_heuristic else 0,
+            1 if self.params.keep_pruned else 0,
+            self._native_sqrt,
+            self._visit_stamp.ctypes.data,
+            epoch_io.ctypes.data,
+            entry_io.ctypes.data,
+            sc["cd"].ctypes.data,
+            sc["ci"].ctypes.data,
+            sc["rd"].ctypes.data,
+            sc["ri"].ctypes.data,
+            sc["rows"].ctypes.data,
+            sc["maxn"],
+            sc["flags"].ctypes.data,
+            sc["tmp_d"].ctypes.data,
+            sc["tmp_i"].ctypes.data,
+            sc["ch_d"].ctypes.data,
+            sc["ch_i"].ctypes.data,
+            sc["sh_d"].ctypes.data,
+            sc["sh_i"].ctypes.data,
+            evals_out.ctypes.data,
+            shrinks_out.ctypes.data,
+        )
+        self._visit_epoch = int(epoch_io[0])
+        self._entry = int(entry_io[0])
+        self.n_dist_evals += int(evals_out[0])
+        self.n_shrink_ops += int(shrinks_out[0])
+
+    def _build_scratch(self, need_n: int) -> dict:
+        """Reusable scratch for the compiled INSERT batch.
+
+        The search heaps must fit every possible push (every point plus
+        the entry pair); selection scratch is bounded by the beam width
+        and the largest over-full list (``max(M, M0) + 1``).
+        """
+        deg = max(self.params.M, self.params.M0)
+        maxn = max(self.params.ef_construction, deg + 2)
+        need = need_n + 16
+        sc = self._native_build_scratch
+        if sc is None or len(sc["cd"]) < need:
+            sc = {
+                "cd": np.empty(need, dtype=np.float64),
+                "ci": np.empty(need, dtype=np.int32),
+                "rd": np.empty(need, dtype=np.float64),
+                "ri": np.empty(need, dtype=np.int32),
+                "rows": np.empty((deg + 1) * maxn, dtype=np.float64),
+                "flags": np.empty(maxn, dtype=np.uint8),
+                "tmp_d": np.empty(maxn, dtype=np.float64),
+                "tmp_i": np.empty(maxn, dtype=np.int32),
+                "ch_d": np.empty(deg + 1, dtype=np.float64),
+                "ch_i": np.empty(deg + 1, dtype=np.int32),
+                "sh_d": np.empty(deg + 1, dtype=np.float64),
+                "sh_i": np.empty(deg + 1, dtype=np.int32),
+                "maxn": maxn,
+            }
+            self._native_build_scratch = sc
+        return sc
 
     def _shrink(self, node: int, level: int, limit: int, d_nx: float | None = None) -> None:
         """Re-select ``node``'s neighbor list down to ``limit`` links.
@@ -339,6 +471,7 @@ class HnswIndex:
         """
         cnt = int(self._cnts[level][node])
         row = self._nbrs[level][node]
+        self.n_shrink_ops += 1
         if self._shrink_caching:
             self.n_dist_evals += cnt + cnt * (cnt - 1) // 2
             cache = self._shrink_cache[level]

@@ -1,34 +1,38 @@
-"""ctypes loader for the compiled SEARCH-LAYER hot path (``_hotpath.c``).
+"""ctypes loader for the compiled HNSW hot paths (``_hotpath.c``).
 
-The helper is an *optional* accelerator with a strict bit-identity
-contract: it is enabled only when
+Two helpers live in the shared object: the SEARCH-LAYER beam search
+(used by queries and by construction) and the full INSERT batch (greedy
+descent, beam search, neighbor selection, link shrinking).  Both are
+*optional* accelerators with a strict bit-identity contract: a helper
+is enabled only when
 
 - a C compiler is available and the shared object builds (compiled once
   per source hash into a per-user temp dir, reused across processes),
 - the metric is cdist-backed l2/sqeuclidean and the dimensionality is
-  one the C distance kernel reproduces exactly (currently 32, the
+  one the C distance kernels reproduce exactly (currently 32, the
   paper's descriptor width), and
-- a runtime self-check confirms the C kernel matches numpy's float32
-  einsum/sqrt bit for bit on this machine.
+- runtime self-checks confirm the C kernels match the numpy kernels bit
+  for bit on this machine: the float32 einsum/sqrt query kernel for
+  search, plus scipy's cdist double-accumulation kernel (which the
+  python selection/shrink paths use for candidate-pairwise distances)
+  for the insert path.
 
-On any failure the index silently stays on the pure-python traversal,
-which is always correct — the helper changes wall-clock time only,
-never results or ``n_dist_evals``.  Set ``REPRO_HNSW_NO_NATIVE=1`` to
-force the python path (the equivalence tests use this to cover both).
+On any failure the index silently stays on the pure-python paths, which
+are always correct — the helpers change wall-clock time only, never
+results or ``n_dist_evals``.  Set ``REPRO_HNSW_NO_NATIVE=1`` to force
+the python paths (the equivalence tests use this to cover both).
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
 import os
-import shutil
-import subprocess
-import tempfile
 
 import numpy as np
 
-__all__ = ["native_search_layer_for"]
+from repro.utils.cbuild import compile_and_load
+
+__all__ = ["native_search_layer_for", "native_build_for"]
 
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_hotpath.c")
 
@@ -38,6 +42,7 @@ _NATIVE_DIMS = (32,)
 _lib = None
 _lib_state = "unloaded"  # unloaded -> ready | failed (sticky per process)
 _checked: dict[int, bool] = {}
+_checked_cdist: dict[int, bool] = {}
 
 
 def _load():
@@ -47,34 +52,8 @@ def _load():
     _lib_state = "failed"
     if os.environ.get("REPRO_HNSW_NO_NATIVE"):
         return None
-    if not os.path.exists(_SRC):
-        return None
-    cc = os.environ.get("CC") or shutil.which("gcc") or shutil.which("cc")
-    if cc is None:
-        return None
-    with open(_SRC, "rb") as fh:
-        src = fh.read()
-    tag = hashlib.sha256(src).hexdigest()[:16]
-    cache = os.path.join(tempfile.gettempdir(), f"repro-hnsw-{os.getuid()}")
-    so = os.path.join(cache, f"_hotpath-{tag}.so")
-    if not os.path.exists(so):
-        tmp = f"{so}.{os.getpid()}.tmp"
-        try:
-            os.makedirs(cache, exist_ok=True)
-            # -ffp-contract=off: a fused multiply-add would change float32
-            # rounding and break bit-identity with the numpy kernels
-            subprocess.run(
-                [cc, "-O2", "-ffp-contract=off", "-shared", "-fPIC", _SRC, "-o", tmp, "-lm"],
-                check=True,
-                capture_output=True,
-                timeout=120,
-            )
-            os.replace(tmp, so)
-        except (OSError, subprocess.SubprocessError):
-            return None
-    try:
-        lib = ctypes.CDLL(so)
-    except OSError:
+    lib = compile_and_load(_SRC, "repro-hnsw")
+    if lib is None:
         return None
     p = ctypes.c_void_p
     i64 = ctypes.c_int64
@@ -102,6 +81,43 @@ def _load():
     ]
     lib.l2sq32_batch.restype = None
     lib.l2sq32_batch.argtypes = [p, p, i64, i32, p]
+    lib.l2d32_batch.restype = None
+    lib.l2d32_batch.argtypes = [p, p, i64, i32, p]
+    lib.hnsw_insert_batch.restype = i64
+    lib.hnsw_insert_batch.argtypes = [
+        p,  # X
+        p,  # node_level
+        i64,  # n_start
+        i64,  # n_new
+        p,  # new_levels
+        p,  # nbrs_ptrs
+        p,  # strides
+        p,  # cnts_ptrs
+        i64,  # M
+        i64,  # M0
+        i64,  # efc
+        i32,  # heuristic
+        i32,  # keep_pruned
+        i32,  # do_sqrt
+        p,  # stamp
+        p,  # epoch_io
+        p,  # entry_io
+        p,  # cd
+        p,  # ci
+        p,  # rd
+        p,  # ri
+        p,  # rows
+        i64,  # row_stride
+        p,  # flags
+        p,  # tmp_d
+        p,  # tmp_i
+        p,  # ch_d
+        p,  # ch_i
+        p,  # sh_d
+        p,  # sh_i
+        p,  # evals_out
+        p,  # shrinks_out
+    ]
     _lib = lib
     _lib_state = "ready"
     return lib
@@ -127,6 +143,26 @@ def _selfcheck(lib, do_sqrt: int) -> bool:
     return ok
 
 
+def _selfcheck_cdist(lib, do_sqrt: int) -> bool:
+    """Compare the C double-accumulation kernel against scipy cdist, bit for bit."""
+    hit = _checked_cdist.get(do_sqrt)
+    if hit is not None:
+        return hit
+    from repro.hnsw.kernels import _cdist_euclidean, _cdist_sqeuclidean
+
+    rng = np.random.default_rng(0xD15C)
+    n = 512
+    A = rng.normal(0, 10, size=(n, 32)).astype(np.float32)
+    B = rng.normal(0, 10, size=(n, 32)).astype(np.float32)
+    cdist = _cdist_euclidean if do_sqrt else _cdist_sqeuclidean
+    ref = np.ascontiguousarray(np.diagonal(cdist(A, B)))
+    out = np.empty(n, dtype=np.float64)
+    lib.l2d32_batch(A.ctypes.data, B.ctypes.data, n, do_sqrt, out.ctypes.data)
+    ok = bool(np.array_equal(ref.view(np.int64), out.view(np.int64)))
+    _checked_cdist[do_sqrt] = ok
+    return ok
+
+
 def native_search_layer_for(metric_name: str, dim: int):
     """The compiled library if it can serve (metric, dim) bit-exactly, else None."""
     if dim not in _NATIVE_DIMS or metric_name not in ("l2", "sqeuclidean"):
@@ -135,5 +171,20 @@ def native_search_layer_for(metric_name: str, dim: int):
     if lib is None:
         return None
     if not _selfcheck(lib, 1 if metric_name == "l2" else 0):
+        return None
+    return lib
+
+
+def native_build_for(metric_name: str, dim: int):
+    """The compiled library if the INSERT path can serve (metric, dim) bit-exactly.
+
+    On top of the search-layer gate this requires the cdist-compatible
+    double kernel (selection/shrink pairwise distances) to pass its own
+    bit-identity self-check.
+    """
+    lib = native_search_layer_for(metric_name, dim)
+    if lib is None:
+        return None
+    if not _selfcheck_cdist(lib, 1 if metric_name == "l2" else 0):
         return None
     return lib

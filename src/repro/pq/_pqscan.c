@@ -1,0 +1,43 @@
+/* Compiled fast-scan ADC kernel for IVF-PQ inverted lists.
+ *
+ * Layout (André's thesis, "Exploiting Modern Hardware for
+ * High-Dimensional Nearest Neighbor Search"): the per-query distance
+ * table is (n_subspaces, n_centroids) float64, row-major, so one
+ * subspace's lookup table is contiguous; the list codes are stored
+ * TRANSPOSED as (n_subspaces, n_codes) uint8, so the inner scan loop
+ * walks contiguous code bytes while the active lookup table stays in
+ * L1.  Codes are processed in blocks whose accumulators also fit in
+ * L1, giving one pass over the code bytes per subspace per block.
+ *
+ * Accumulation is plain sequential double addition in subspace order
+ * (m = 0, 1, ...), the same order as the numpy fallback in
+ * ``kernels.py`` — the two paths are bit-identical, which the loader's
+ * self-check pins at load time.
+ */
+
+#include <stdint.h>
+
+typedef int64_t i64;
+
+#define BLOCK 256
+
+/* out[i] = sum_m table[m, codes_t[m, i]] for i in [0, n_codes) */
+void pq_adc_scan(const double *table, i64 n_cent, const uint8_t *codes_t,
+                 i64 m_sub, i64 n, double *out)
+{
+    double acc[BLOCK];
+    for (i64 start = 0; start < n; start += BLOCK) {
+        i64 len = n - start < BLOCK ? n - start : BLOCK;
+        const uint8_t *c0 = codes_t + start;
+        for (i64 i = 0; i < len; i++)
+            acc[i] = table[c0[i]];
+        for (i64 m = 1; m < m_sub; m++) {
+            const uint8_t *cm = codes_t + m * n + start;
+            const double *tm = table + m * n_cent;
+            for (i64 i = 0; i < len; i++)
+                acc[i] += tm[cm[i]];
+        }
+        for (i64 i = 0; i < len; i++)
+            out[start + i] = acc[i];
+    }
+}

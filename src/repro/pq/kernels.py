@@ -1,0 +1,62 @@
+"""Fast-scan ADC kernels: transposed-code layout + blocked scan.
+
+The classic IVFADC inner loop gathers ``table[m, codes[i, m]]`` per
+(vector, subspace) pair through numpy fancy indexing — one strided
+gather per probed list, plus a fresh distance table per list.  The
+fast-scan layout (André's thesis, PAPERS.md) transposes each inverted
+list's codes once at build time to ``(n_subspaces, n_codes)`` so the
+scan walks contiguous code bytes subspace by subspace while the active
+256-entry lookup table stays in L1, and the per-query table is built
+once and reused across every probed list (and across the batched
+queries probing the same list).
+
+``adc_scan`` dispatches to the compiled kernel (``_pqscan.c``) when it
+loaded and passed its self-check, else to the vectorized numpy
+fallback; both accumulate sequentially in subspace order, so the two
+paths are bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pq.native import native_adc_scan
+
+__all__ = ["adc_scan", "transpose_codes"]
+
+
+def transpose_codes(codes: np.ndarray) -> np.ndarray:
+    """(n, n_subspaces) codes -> contiguous (n_subspaces, n) uint8 scan layout."""
+    return np.ascontiguousarray(np.asarray(codes, dtype=np.uint8).T)
+
+
+def _adc_scan_numpy(table: np.ndarray, codes_t: np.ndarray) -> np.ndarray:
+    """Vectorized fallback: one contiguous gather + add per subspace."""
+    acc = table[0][codes_t[0]]
+    for m in range(1, codes_t.shape[0]):
+        acc += table[m][codes_t[m]]
+    return acc
+
+
+def adc_scan(table: np.ndarray, codes_t: np.ndarray) -> np.ndarray:
+    """ADC distances for one query table over one transposed code list.
+
+    ``table`` is the (n_subspaces, n_centroids) float64 table from
+    :meth:`~repro.pq.quantizer.ProductQuantizer.adc_table`; ``codes_t``
+    a ``transpose_codes`` layout.  Returns float64 distances of length
+    ``codes_t.shape[1]``.
+    """
+    m_sub, n = codes_t.shape
+    lib = native_adc_scan()
+    if lib is None or n == 0:
+        return _adc_scan_numpy(table, codes_t)
+    out = np.empty(n, dtype=np.float64)
+    lib.pq_adc_scan(
+        table.ctypes.data,
+        table.shape[1],
+        codes_t.ctypes.data,
+        m_sub,
+        n,
+        out.ctypes.data,
+    )
+    return out

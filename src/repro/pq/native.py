@@ -1,0 +1,75 @@
+"""ctypes loader for the compiled fast-scan ADC kernel (``_pqscan.c``).
+
+Same optional-accelerator pattern as :mod:`repro.hnsw.native`: the
+kernel is compiled on demand (cached per source hash), and enabled only
+after a runtime self-check proves it bit-identical to the numpy
+fallback scan in :mod:`repro.pq.kernels` — both accumulate table
+entries sequentially in subspace order, so any mismatch means a broken
+toolchain and the kernel is simply not used.  Set
+``REPRO_PQ_NO_NATIVE=1`` to force the numpy path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+
+import numpy as np
+
+from repro.utils.cbuild import compile_and_load
+
+__all__ = ["native_adc_scan"]
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_pqscan.c")
+
+_lib = None
+_lib_state = "unloaded"  # unloaded -> ready | failed (sticky per process)
+
+
+def _load():
+    global _lib, _lib_state
+    if _lib_state != "unloaded":
+        return _lib
+    _lib_state = "failed"
+    if os.environ.get("REPRO_PQ_NO_NATIVE"):
+        return None
+    lib = compile_and_load(_SRC, "repro-pq")
+    if lib is None:
+        return None
+    p = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    lib.pq_adc_scan.restype = None
+    lib.pq_adc_scan.argtypes = [p, i64, p, i64, i64, p]
+    _lib = lib
+    _lib_state = "ready"
+    return lib
+
+
+def _selfcheck(lib) -> bool:
+    """Compare the C scan against the numpy fallback, bit for bit."""
+    from repro.pq.kernels import _adc_scan_numpy
+
+    rng = np.random.default_rng(0xADC)
+    m_sub, n_cent, n = 8, 256, 1000
+    table = rng.normal(0, 10, size=(m_sub, n_cent))
+    codes_t = rng.integers(0, n_cent, size=(m_sub, n), dtype=np.uint8)
+    ref = _adc_scan_numpy(table, codes_t)
+    out = np.empty(n, dtype=np.float64)
+    lib.pq_adc_scan(
+        table.ctypes.data, n_cent, codes_t.ctypes.data, m_sub, n, out.ctypes.data
+    )
+    return bool(np.array_equal(ref.view(np.int64), out.view(np.int64)))
+
+
+_scan_checked: bool | None = None
+
+
+def native_adc_scan():
+    """The compiled library if it passed the bit-identity gate, else None."""
+    global _scan_checked
+    lib = _load()
+    if lib is None:
+        return None
+    if _scan_checked is None:
+        _scan_checked = _selfcheck(lib)
+    return lib if _scan_checked else None

@@ -115,10 +115,9 @@ class ProductQuantizer:
 
     def adc_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Estimated squared L2 distances from ``query`` to coded vectors."""
-        table = self.adc_table(query)
-        codes = np.asarray(codes)
-        # gather one table entry per (vector, subspace) and sum
-        return table[np.arange(self.n_subspaces)[None, :], codes.astype(np.int64)].sum(axis=1)
+        from repro.pq.kernels import adc_scan, transpose_codes
+
+        return adc_scan(self.adc_table(query), transpose_codes(codes))
 
     def quantization_error(self, X: np.ndarray) -> float:
         """Mean squared reconstruction error — the recall-plateau floor."""

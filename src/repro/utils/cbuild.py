@@ -1,0 +1,62 @@
+"""Shared build-and-load plumbing for the optional C accelerators.
+
+Each accelerator package (``repro.hnsw``, ``repro.pq``) ships a single
+C source file compiled on demand with whatever compiler the host has —
+there is no build step at install time and no hard dependency on one
+existing.  The shared object is cached per source hash in a per-user
+temp dir, so the compile cost is paid once per machine, not per
+process; a compile or load failure simply returns ``None`` and the
+caller stays on its pure-python path.
+
+Compilation always passes ``-ffp-contract=off``: every kernel in this
+repo carries a bit-identity contract against a numpy/scipy reference,
+and a fused multiply-add would change the rounding.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+__all__ = ["compile_and_load"]
+
+
+def compile_and_load(src_path: str, cache_prefix: str) -> ctypes.CDLL | None:
+    """Compile ``src_path`` to a cached shared object and load it.
+
+    Returns the ``ctypes.CDLL`` (argtypes left to the caller) or
+    ``None`` when no compiler exists, the compile fails, or the object
+    cannot be loaded.
+    """
+    if not os.path.exists(src_path):
+        return None
+    cc = os.environ.get("CC") or shutil.which("gcc") or shutil.which("cc")
+    if cc is None:
+        return None
+    with open(src_path, "rb") as fh:
+        src = fh.read()
+    tag = hashlib.sha256(src).hexdigest()[:16]
+    cache = os.path.join(tempfile.gettempdir(), f"{cache_prefix}-{os.getuid()}")
+    stem = os.path.splitext(os.path.basename(src_path))[0]
+    so = os.path.join(cache, f"{stem}-{tag}.so")
+    if not os.path.exists(so):
+        tmp = f"{so}.{os.getpid()}.tmp"
+        try:
+            os.makedirs(cache, exist_ok=True)
+            subprocess.run(
+                [cc, "-O2", "-ffp-contract=off", "-shared", "-fPIC", src_path, "-o", tmp, "-lm"],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp, so)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        return ctypes.CDLL(so)
+    except OSError:
+        return None

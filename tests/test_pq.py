@@ -129,18 +129,19 @@ class TestIVFPQ:
         with pytest.raises(ValueError, match="keep_vectors"):
             idx.knn_search(X[0], 3)
 
-    def test_per_call_knobs_deprecated_but_work(self, corpus):
-        """Per-call n_probe/rerank still win over the constructor values,
-        but emit a DeprecationWarning (the uniform Searcher surface takes
-        the knobs at construction time)."""
+    def test_per_call_knobs_removed(self, corpus):
+        """The deprecated per-call n_probe/rerank shim is gone: the knobs
+        are constructor-only (the uniform Searcher surface), and passing
+        them per call is a TypeError."""
         X, *_ = corpus
         idx = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4, n_probe=1).fit(X)
-        with pytest.warns(DeprecationWarning, match="n_probe"):
-            d_dep, i_dep = idx.knn_search(X[0], 3, n_probe=8)
+        with pytest.raises(TypeError):
+            idx.knn_search(X[0], 3, n_probe=8)
+        with pytest.raises(TypeError):
+            idx.knn_search(X[0], 3, rerank=5)
         wide = IVFPQIndex(n_cells=8, n_subspaces=4, n_centroids=16, seed=4, n_probe=8).fit(X)
         d_new, i_new = wide.knn_search(X[0], 3)
-        np.testing.assert_array_equal(i_dep, i_new)
-        np.testing.assert_allclose(d_dep, d_new)
+        assert len(i_new) == 3
 
     def test_len(self, corpus):
         X, *_ = corpus
