@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test lint bench bench-smoke bench-pq pq-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke bench-pipeline pipeline-smoke bench-serving serving-smoke obs-smoke examples faults-demo clean
+.PHONY: install test lint bench bench-smoke bench-pq pq-smoke bench-paper bench-core bench-loadbalance loadbalance-smoke bench-pipeline pipeline-smoke bench-serving serving-smoke bench-filter filter-smoke obs-smoke examples faults-demo clean
 
 # smoke artifacts are throwaway CI outputs — they land in .benchmarks/
 # (gitignored), never at the repo root next to the tracked trajectories
@@ -80,6 +80,22 @@ serving-smoke:
 	mkdir -p $(SMOKE_DIR)
 	python benchmarks/bench_serving.py --smoke --out $(SMOKE_DIR)/BENCH_serving_smoke.json
 	pytest tests/test_serving.py -q
+
+# filtered-search selectivity x strategy sweep: pre/post recall vs the
+# naive post-filter baseline, the auto crossover, and the unfiltered
+# bit-identity check with metadata attached; fails if filtered recall
+# stops beating the naive baseline at two or more selectivity points, if
+# the measured crossover contradicts CROSSOVER_SELECTIVITY, or if
+# attaching metadata changes unfiltered answers (trajectory recorded in
+# BENCH_filter.json)
+bench-filter:
+	python benchmarks/bench_filter.py
+
+# CI-sized variant plus the filtering + protocol contract tests
+filter-smoke:
+	mkdir -p $(SMOKE_DIR)
+	python benchmarks/bench_filter.py --smoke --out $(SMOKE_DIR)/BENCH_filter_smoke.json
+	pytest tests/test_filtering.py tests/test_searcher_protocol.py -q
 
 # end-to-end observability smoke: gen -> build -> query with every obs
 # artifact enabled, then validate the Chrome trace against the trace-event

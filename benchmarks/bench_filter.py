@@ -1,0 +1,318 @@
+"""Filtered-search benchmark: selectivity × strategy sweep and the crossover.
+
+The experiment the ``repro.filtering`` stack is about: a filtered query
+must return the k nearest *matching* rows, and there are two ways to pay
+for that.  Brute-forcing exactly the matching rows (**pre**) costs one
+distance per match, so it wins when the predicate is selective; filtered
+graph traversal (**post**) costs roughly an ordinary beam search, so it
+wins when most rows match.  The ``auto`` strategy flips between them at
+:data:`~repro.filtering.CROSSOVER_SELECTIVITY` per (task, partition).
+
+The sweep runs one filtered batch per (selectivity, strategy) cell over a
+corpus whose ``pct`` attribute is ``row % 100`` — a range predicate
+``pct=0..S-1`` selects exactly S% of every partition.  Per cell it
+records recall against the exact answer *over the matching rows*, the
+distance-eval split, and the pre/post task counts; per selectivity it
+also records the **naive post-filter baseline** (unfiltered search at the
+same k, then drop non-matching rows), the strawman the filtered paths
+must beat.  A paired unfiltered run checks metadata attachment stays
+bit-identical for unfiltered queries.
+
+Acceptance gates (exit non-zero on failure):
+
+- filtered recall >= the naive post-filter baseline at every swept
+  selectivity (the ISSUE requires at least two such points on record);
+- the measured auto crossover agrees with ``CROSSOVER_SELECTIVITY``;
+- unfiltered results are bit-identical with and without metadata.
+
+Writes ``BENCH_filter.json`` with the same previous/history folding as
+the other benchmarks.  Run via ``make bench-filter`` (full) or
+``--smoke`` (CI size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from trajectory import fold_previous, missing_keys, results_checksum  # noqa: E402
+
+from repro.core import DistributedANN, SystemConfig  # noqa: E402
+from repro.datasets import sample_queries, sift_like  # noqa: E402
+from repro.filtering import CROSSOVER_SELECTIVITY, STRATEGIES  # noqa: E402
+from repro.hnsw import HnswParams  # noqa: E402
+
+#: keys every BENCH_filter.json must provide (CI's filter-smoke checks these)
+REQUIRED_KEYS = (
+    "schema",
+    "config",
+    "runs",
+    "headline.cores",
+    "headline.k",
+    "headline.crossover_selectivity",
+    "headline.measured_crossover",
+    "headline.crossover_agrees",
+    "headline.recall_points_beating_naive",
+    "headline.recall_floor_met",
+    "headline.min_filtered_recall",
+    "headline.pre_evals_low_sel",
+    "headline.post_evals_high_sel",
+    "unfiltered_identical_with_metadata",
+)
+
+
+def build_system(args: argparse.Namespace, strategy: str) -> DistributedANN:
+    return DistributedANN(
+        SystemConfig(
+            n_cores=args.cores,
+            cores_per_node=4,
+            k=args.k,
+            n_probe=args.cores,  # every partition: recall is about filtering,
+            # not routing, so take routing out of the experiment
+            hnsw=HnswParams(M=8, ef_construction=60, seed=args.seed),
+            filter_strategy=strategy,
+            seed=args.seed,
+        )
+    )
+
+
+def exact_over_matches(X: np.ndarray, match_rows: np.ndarray, Q: np.ndarray, k: int) -> np.ndarray:
+    """(n_queries, k) exact neighbor ids among the matching rows (L2)."""
+    gt = np.full((len(Q), k), -1, dtype=np.int64)
+    sub = X[match_rows]
+    for i, q in enumerate(Q):
+        d = np.einsum("ij,ij->i", sub - q, sub - q)
+        order = match_rows[np.argsort(d, kind="stable")][:k]
+        gt[i, : len(order)] = order
+    return gt
+
+
+def recall_vs(gt: np.ndarray, ids: np.ndarray) -> float:
+    """Mean fraction of the exact matching-row answers recovered."""
+    hits = sum(
+        len(np.intersect1d(row[row >= 0], g[g >= 0])) for row, g in zip(ids, gt)
+    )
+    denom = int(np.count_nonzero(gt >= 0))
+    return hits / denom if denom else 1.0
+
+
+def run(args: argparse.Namespace) -> dict:
+    X = sift_like(args.n, dim=args.dim, seed=args.seed)
+    Q = sample_queries(X, args.n_queries, noise_scale=0.05, seed=args.seed + 1)
+    pct = np.arange(args.n) % 100  # pct=0..S-1 selects exactly S% of rows
+    metadata = {"pct": pct}
+
+    # unfiltered bit-identity: attaching metadata must change nothing
+    plain = build_system(args, "auto")
+    plain.fit(X)
+    D0, I0, _ = plain.query(Q, k=args.k)
+    tagged = build_system(args, "auto")
+    tagged.fit(X, metadata=metadata)
+    Dt, It, _ = tagged.query(Q, k=args.k)
+    unfiltered_identical = results_checksum(D0, I0) == results_checksum(Dt, It)
+
+    systems = {"auto": tagged}
+    for strategy in STRATEGIES:
+        if strategy not in systems:
+            systems[strategy] = build_system(args, strategy)
+            systems[strategy].fit(X, metadata=metadata)
+
+    runs = []
+    for sel_pct in args.selectivities:
+        predicate = f"pct=0..{sel_pct - 1}"
+        match_rows = np.flatnonzero(pct < sel_pct)
+        gt = exact_over_matches(X, match_rows, Q, args.k)
+
+        # the naive post-filter baseline: unfiltered search at the same k,
+        # keep the rows that happen to match — no extra cluster run needed
+        keep = np.where(np.isin(I0, match_rows), I0, -1)
+        naive_recall = recall_vs(gt, keep)
+
+        for strategy in STRATEGIES:
+            D, ids, rep = systems[strategy].query(Q, k=args.k, filter=predicate)
+            assert np.all(np.isin(ids[ids >= 0], match_rows)), (
+                f"predicate violated at selectivity {sel_pct}% ({strategy})"
+            )
+            runs.append(
+                {
+                    "selectivity": sel_pct / 100.0,
+                    "strategy": strategy,
+                    "predicate": predicate,
+                    "recall_filtered": round(recall_vs(gt, ids), 4),
+                    "recall_naive_postfilter": round(naive_recall, 4),
+                    "tasks_pre": rep.filter_tasks_pre,
+                    "tasks_post": rep.filter_tasks_post,
+                    "evals_pre": rep.filter_evals_pre,
+                    "evals_post": rep.filter_evals_post,
+                    "virtual_seconds": round(rep.total_seconds, 6),
+                    "results_sha256": results_checksum(D, ids),
+                }
+            )
+
+    def cell(sel_pct: int, strategy: str) -> dict:
+        return next(
+            r
+            for r in runs
+            if r["strategy"] == strategy and r["selectivity"] == sel_pct / 100.0
+        )
+
+    # the measured crossover: the lowest swept selectivity where auto sends
+    # the majority of its tasks down the post (filtered-traversal) path
+    measured = None
+    for sel_pct in sorted(args.selectivities):
+        row = cell(sel_pct, "auto")
+        if row["tasks_post"] > row["tasks_pre"]:
+            measured = sel_pct / 100.0
+            break
+    below = [s for s in args.selectivities if s / 100.0 < CROSSOVER_SELECTIVITY]
+    crossover_agrees = measured is not None and all(
+        s / 100.0 < measured for s in below
+    )
+
+    auto_rows = [r for r in runs if r["strategy"] == "auto"]
+    beating = sum(
+        1 for r in auto_rows if r["recall_filtered"] >= r["recall_naive_postfilter"]
+    )
+    low_sel, high_sel = min(args.selectivities), max(args.selectivities)
+
+    return {
+        "schema": 1,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": {
+            "n": args.n,
+            "dim": args.dim,
+            "n_queries": args.n_queries,
+            "k": args.k,
+            "cores": args.cores,
+            "selectivities": [s / 100.0 for s in args.selectivities],
+            "seed": args.seed,
+        },
+        "runs": runs,
+        "headline": {
+            "cores": args.cores,
+            "k": args.k,
+            "crossover_selectivity": CROSSOVER_SELECTIVITY,
+            "measured_crossover": measured,
+            "crossover_agrees": crossover_agrees,
+            # the ISSUE's acceptance point: filtered recall must be >= the
+            # naive post-filter baseline at two or more selectivity points
+            "recall_points_beating_naive": beating,
+            "recall_floor_met": beating >= 2,
+            "min_filtered_recall": min(r["recall_filtered"] for r in auto_rows),
+            "pre_evals_low_sel": cell(low_sel, "pre")["evals_pre"],
+            "post_evals_high_sel": cell(high_sel, "post")["evals_post"],
+        },
+        "unfiltered_identical_with_metadata": unfiltered_identical,
+    }
+
+
+#: fields a previous run keeps when folded into the trajectory history
+TRIM_FIELDS = (
+    "created",
+    "config",
+    "headline",
+    "unfiltered_identical_with_metadata",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description="Filtered-search selectivity benchmark")
+    ap.add_argument("--n", type=int, default=4000, help="corpus size")
+    ap.add_argument("--dim", type=int, default=24)
+    ap.add_argument("--n-queries", type=int, default=50, dest="n_queries")
+    ap.add_argument("--k", type=int, default=10)
+    ap.add_argument("--cores", type=int, default=8)
+    ap.add_argument(
+        "--selectivities",
+        type=int,
+        nargs="+",
+        default=[1, 5, 10, 25, 50, 90],
+        help="swept matching percentages (pct=0..S-1 predicates)",
+    )
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default="BENCH_filter.json")
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke size (n=1500, 20 queries, 4 cores, three selectivities)",
+    )
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.n, args.n_queries = 1500, 20
+        args.cores = 4
+        args.selectivities = [5, 25, 90]
+
+    report = run(args)
+    report = fold_previous(report, args.out, trim_fields=TRIM_FIELDS)
+
+    missing = missing_keys(report, REQUIRED_KEYS)
+    if missing:
+        print(f"ERROR: benchmark report is missing keys: {missing}", file=sys.stderr)
+        return 2
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(
+        f"{'sel':>5} {'strategy':>9} {'recall':>7} {'naive':>7} "
+        f"{'pre/post tasks':>15} {'evals':>12} {'virtual':>10}"
+    )
+    for row in report["runs"]:
+        print(
+            f"{row['selectivity']:>5.2f} {row['strategy']:>9} "
+            f"{row['recall_filtered']:>7.3f} {row['recall_naive_postfilter']:>7.3f} "
+            f"{row['tasks_pre']:>7}/{row['tasks_post']:<7} "
+            f"{row['evals_pre'] + row['evals_post']:>12} "
+            f"{row['virtual_seconds']:>9.4f}s"
+        )
+    head = report["headline"]
+    print(
+        f"crossover: configured {head['crossover_selectivity']:.2f}, "
+        f"measured {head['measured_crossover']} "
+        f"({'agrees' if head['crossover_agrees'] else 'DISAGREES'})"
+    )
+    print(
+        f"recall: filtered >= naive post-filter at "
+        f"{head['recall_points_beating_naive']} selectivity points, "
+        f"min filtered recall {head['min_filtered_recall']:.3f}"
+    )
+    print(f"wrote {args.out}")
+
+    if not report["unfiltered_identical_with_metadata"]:
+        print("ERROR: metadata attachment changed unfiltered results", file=sys.stderr)
+        return 4
+    if not head["recall_floor_met"]:
+        print(
+            "ERROR: filtered recall beats the naive baseline at "
+            f"{head['recall_points_beating_naive']} < 2 selectivity points",
+            file=sys.stderr,
+        )
+        return 3
+    if not head["crossover_agrees"]:
+        print(
+            f"ERROR: measured crossover {head['measured_crossover']} contradicts "
+            f"CROSSOVER_SELECTIVITY={CROSSOVER_SELECTIVITY}",
+            file=sys.stderr,
+        )
+        return 5
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ Subpackages
 - ``repro.metrics``   — vectorized distance metrics.
 - ``repro.eval``      — recall, load statistics, scaling tables.
 - ``repro.obs``       — metrics registry, per-query traces, exporters.
+- ``repro.filtering`` — per-vector metadata, filter predicates, tenants.
 
 The names below are the supported public surface; everything else under
 ``repro.*`` is internal and may move between releases.
@@ -41,6 +42,7 @@ both places.
 from repro.core import DistributedANN, SystemConfig, BuildReport, SearchReport
 from repro.core.replication import Workgroups
 from repro.faults import FaultSpec
+from repro.filtering import FilterSpec, MetadataStore
 from repro.hnsw import HnswIndex, HnswParams
 from repro.kdtree import KDTree
 from repro.loadbalance import ReplicaSelector
@@ -56,9 +58,11 @@ __all__ = [
     "ClusterRuntime",
     "DistributedANN",
     "FaultSpec",
+    "FilterSpec",
     "HnswIndex",
     "HnswParams",
     "KDTree",
+    "MetadataStore",
     "MetricsRegistry",
     "PartitionRouter",
     "ReplicaSelector",

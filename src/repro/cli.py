@@ -73,6 +73,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
     from repro.hnsw import HnswParams
 
     X = read_fvecs(args.base)
+    # per-vector metadata for filtered search: an .npz of named integer
+    # columns, each row-aligned with the base vectors
+    metadata = None
+    if args.attrs:
+        with np.load(args.attrs) as npz:
+            metadata = {name: np.asarray(npz[name]) for name in npz.files}
     cfg = SystemConfig(
         n_cores=args.cores,
         cores_per_node=args.cores_per_node,
@@ -83,9 +89,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
     )
     ann = DistributedANN(cfg)
     t0 = time.perf_counter()
-    report = ann.fit(X)
+    report = ann.fit(X, metadata=metadata)
     wall = time.perf_counter() - t0
     os.makedirs(args.out, exist_ok=True)
+    if metadata is not None:
+        # saved beside the partitions so `repro query --filter/--tenant`
+        # can re-slice per-partition attribute columns on load
+        np.savez_compressed(os.path.join(args.out, "attrs.npz"), **metadata)
     meta = {
         "dim": int(X.shape[1]),
         "n_points": int(len(X)),
@@ -234,6 +244,22 @@ def _print_serving_summary(cfg, rep) -> None:
         )
 
 
+def _print_filter_summary(cfg, rep) -> None:
+    """Filtered-execution lines, shown whenever a filter/tenant was active."""
+    if rep.filtered_queries <= 0 and rep.tenant_id < 0:
+        return
+    if rep.filtered_queries > 0:
+        print(
+            f"filter: {rep.filtered_queries} filtered queries, "
+            f"{rep.filter_tasks_pre} pre / {rep.filter_tasks_post} post tasks, "
+            f"{rep.filter_evals_pre + rep.filter_evals_post} dist evals "
+            f"({rep.filter_evals_pre} pre, {rep.filter_evals_post} post), "
+            f"{rep.filter_empty_tasks} empty tasks"
+        )
+    if rep.tenant_id >= 0:
+        print(f"filter: tenant {rep.tenant_id}, {rep.tenant_queries} tenant queries")
+
+
 def _print_latency_summary(rep) -> None:
     """Per-query latency percentiles, whenever they were observable."""
     lat = rep.query_latencies
@@ -277,6 +303,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         events_out=args.events_out,
         metrics_out=args.metrics_out,
         explain_top=args.explain_top,
+        filter=args.filter,
+        tenant=args.tenant,
+        filter_strategy=args.filter_strategy,
         seed=meta["seed"],
         # fault tolerance tracks per-task deadlines at the master, which
         # needs the two-sided result path; serving needs it too unless a
@@ -291,12 +320,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core.replication import Workgroups
 
     router = _load_router(os.path.join(args.index, "router.npz"))
+    # per-vector metadata saved by `repro build --attrs`; without it a
+    # --filter/--tenant query matches nothing (unknown attribute => empty)
+    metadata = None
+    attrs_path = os.path.join(args.index, "attrs.npz")
+    if os.path.exists(attrs_path):
+        from repro.filtering import MetadataStore
+
+        with np.load(attrs_path) as npz:
+            metadata = MetadataStore({name: npz[name] for name in npz.files})
     partitions = {}
     for pid in range(meta["n_cores"]):
         idx = HnswIndex.load(os.path.join(args.index, f"partition{pid}.npz"))
+        part_ids = np.array([idx.external_id(i) for i in range(len(idx))])
         partitions[pid] = Partition(
-            pid, idx.points.copy(), np.array([idx.external_id(i) for i in range(len(idx))]),
+            pid, idx.points.copy(), part_ids,
             index=idx,
+            attrs=metadata.slice_rows(part_ids) if metadata is not None else None,
         )
     workgroups = Workgroups(cfg.n_cores, cfg.replication_factor)
     node_stores = {n: NodeStore(n) for n in range(cfg.n_nodes)}
@@ -329,6 +369,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     _print_load_summary(cfg, rep)
     _print_pipeline_summary(cfg, rep)
     _print_serving_summary(cfg, rep)
+    _print_filter_summary(cfg, rep)
     _print_latency_summary(rep)
     if fault_spec is not None:
         _print_fault_summary(rep)
@@ -400,13 +441,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             overload_policy=args.overload_policy,
             cache_size=args.cache_size,
             slo_ms=args.slo_ms,
+            filter=args.filter,
+            tenant=args.tenant,
+            filter_strategy=args.filter_strategy,
             seed=args.seed,
             one_sided=fault_spec is None
             and (args.arrival is None or args.dispatch_window > 0),
             fault_spec=fault_spec,
         )
         ann = DistributedANN(cfg)
-        ann.fit(ds.X)
+        # synthetic corpora carry no attributes; a filtered bench run gets
+        # deterministic round-robin tier/tenant columns so predicates match
+        metadata = None
+        if args.filter is not None or args.tenant is not None:
+            rows = np.arange(len(ds.X))
+            metadata = {"tier": rows % 8, "tenant": rows % 4}
+        ann.fit(ds.X, metadata=metadata)
         if cfg.skew > 0:
             # aim the batch at partitions with Zipf-distributed popularity:
             # the skewed-serving workload replica selection is for
@@ -424,6 +474,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         _print_load_summary(cfg, rep)
         _print_pipeline_summary(cfg, rep)
         _print_serving_summary(cfg, rep)
+        _print_filter_summary(cfg, rep)
         _print_latency_summary(rep)
         if fault_spec is not None:
             _print_fault_summary(rep)
@@ -454,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--M", type=int, default=16)
     b.add_argument("--ef-construction", type=int, default=100, dest="ef_construction")
     b.add_argument("--n-probe", type=int, default=3, dest="n_probe")
+    b.add_argument("--attrs", help="per-vector metadata (.npz of named int columns, row-aligned with base)")
     b.add_argument("--seed", type=int, default=0)
     b.set_defaults(func=_cmd_build)
 

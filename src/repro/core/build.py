@@ -62,7 +62,9 @@ class BuildOutput:
     metrics: MetricsRegistry | None = None
 
 
-def _builder_program(ctx, world: Comm, config: SystemConfig, X, chunk_ids, work_scale):
+def _builder_program(
+    ctx, world: Comm, config: SystemConfig, X, chunk_ids, work_scale, metadata=None
+):
     """One builder rank: VP partitioning, then the local HNSW build."""
     rank = world.rank(ctx)
     res = yield from distributed_build(
@@ -89,6 +91,7 @@ def _builder_program(ctx, world: Comm, config: SystemConfig, X, chunk_ids, work_
         build_cost += ctx.cost.graph_update_cost(len(index) * config.hnsw.M)
         yield from ctx.compute(build_cost, kind="build_hnsw")
         partition = Partition(rank, res.points, res.ids, index=index)
+        sample_rows = None
     else:
         yield from ctx.compute(
             ctx.cost.hnsw_build_cost(
@@ -104,12 +107,21 @@ def _builder_program(ctx, world: Comm, config: SystemConfig, X, chunk_ids, work_
         if n_keep and len(res.ids):
             keep = rng.choice(len(res.ids), size=n_keep, replace=False)
             sample = (res.points[keep].copy(), res.ids[keep].copy())
+            sample_rows = np.asarray(keep, dtype=np.int64)
         else:
             sample = (
                 np.empty((0, X.shape[1]), dtype=np.float32),
                 np.empty(0, dtype=np.int64),
             )
-        partition = Partition(rank, res.points, res.ids, sample=sample)
+            sample_rows = np.empty(0, dtype=np.int64)
+        partition = Partition(
+            rank, res.points, res.ids, sample=sample, sample_rows=sample_rows
+        )
+    if metadata is not None:
+        # the partition's slice of the attribute store, row-aligned with
+        # its points (res.ids are global dataset rows); rides the replica
+        # broadcast below via partition.nbytes
+        partition.attrs = metadata.slice_rows(res.ids)
     t_hnsw_done = ctx.now
 
     # replica distribution: each partition is broadcast to the other r-1
@@ -139,11 +151,27 @@ def _builder_program(ctx, world: Comm, config: SystemConfig, X, chunk_ids, work_
     }
 
 
-def run_build(config: SystemConfig, X: np.ndarray) -> BuildOutput:
-    """Simulate the whole construction; return materialized partitions."""
+def run_build(config: SystemConfig, X: np.ndarray, metadata=None) -> BuildOutput:
+    """Simulate the whole construction; return materialized partitions.
+
+    ``metadata``: optional per-vector attribute columns — a
+    :class:`~repro.filtering.MetadataStore` or a plain ``{name: column}``
+    dict aligned with ``X``'s rows.  Each partition receives its rows'
+    slice (``Partition.attrs``), which is what filtered queries predicate
+    on at the workers.
+    """
     P = config.n_cores
     if len(X) < P:
         raise ValueError(f"dataset has {len(X)} points for {P} partitions")
+    if metadata is not None:
+        from repro.filtering import MetadataStore
+
+        if not isinstance(metadata, MetadataStore):
+            metadata = MetadataStore(metadata)
+        if len(metadata) != len(X):
+            raise ValueError(
+                f"metadata has {len(metadata)} rows, dataset has {len(X)}"
+            )
     work_scale = 1.0
     if config.searcher == "modeled":
         work_scale = max(1.0, config.modeled_partition_points * P / len(X))
@@ -161,7 +189,7 @@ def run_build(config: SystemConfig, X: np.ndarray) -> BuildOutput:
         def program(ctx):
             return (
                 yield from _builder_program(
-                    ctx, world, config, X, np.sort(chunks[rank]), work_scale
+                    ctx, world, config, X, np.sort(chunks[rank]), work_scale, metadata
                 )
             )
 

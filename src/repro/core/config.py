@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.faults.spec import FaultPolicy, FaultSpec
+from repro.filtering.strategy import STRATEGIES as _FILTER_STRATEGIES
 from repro.hnsw.params import HnswParams
 from repro.simmpi.costmodel import CostModel
 from repro.simmpi.errors import SimConfigError
@@ -196,6 +197,44 @@ class SystemConfig:
         metadata=cli_option(
             "--slo-ms",
             "arrival-to-completion SLO target in ms (0 = none; needs --arrival)",
+        ),
+    )
+    # -- filtered & multi-tenant search (see docs/filtering.md)
+    #: default filter predicate for every query of the run, as text: JSON
+    #: (``{"attr": "tier", "op": "in", "value": [1, 2]}``) or the shorthand
+    #: ``tier=3`` / ``tier=1,2,5`` / ``tier=10..20``.  None = unfiltered.
+    #: Per-call ``filter=`` arguments override it.
+    filter: str | None = field(
+        default=None,
+        metadata=cli_option(
+            "--filter",
+            'default filter predicate: JSON or shorthand ("tier=3", '
+            '"tier=1,2,5", "tier=10..20"); needs build-time metadata',
+            type=str,
+        ),
+    )
+    #: tenant id every query of the run belongs to: adds an implicit
+    #: ``tenant == id`` clause (over the build-time ``tenant`` attribute
+    #: column) and namespaces serving admission + result-cache keys.
+    #: None = single-tenant, bit-identical to the pre-filtering engine.
+    tenant: int | None = field(
+        default=None,
+        metadata=cli_option(
+            "--tenant",
+            "tenant id: adds an implicit tenant==id clause and namespaces "
+            "serving admission and cache keys",
+            type=int,
+        ),
+    )
+    #: filtered-execution strategy: ``"auto"`` picks brute force over the
+    #: matching rows (pre) below the selectivity crossover and filtered
+    #: graph traversal (post) above it; ``"pre"``/``"post"`` force one.
+    filter_strategy: str = field(
+        default="auto",
+        metadata=cli_option(
+            "--filter-strategy",
+            "filtered execution strategy (auto = selectivity crossover)",
+            choices=_FILTER_STRATEGIES,
         ),
     )
     # -- observability (see docs/observability.md); valid in every mode and
@@ -417,6 +456,20 @@ class SystemConfig:
             )
         if self.explain_top < 0:
             raise SimConfigError(f"explain_top must be >= 0, got {self.explain_top}")
+        if self.filter_strategy not in _FILTER_STRATEGIES:
+            raise SimConfigError(
+                f"filter_strategy must be one of {_FILTER_STRATEGIES}, "
+                f"got {self.filter_strategy!r}"
+            )
+        if self.tenant is not None and self.tenant < 0:
+            raise SimConfigError(f"tenant must be >= 0, got {self.tenant}")
+        if self.filter is not None:
+            from repro.filtering import FilterSpec, FilterSpecError
+
+            try:
+                FilterSpec.parse(self.filter)
+            except FilterSpecError as exc:
+                raise SimConfigError(f"invalid filter: {exc}") from None
 
     # -- observability ------------------------------------------------------
 

@@ -81,6 +81,7 @@ class FaultHarness:
         selector: ReplicaSelector | None = None,
         serving=None,
         metrics=None,
+        fpayload: dict | None = None,
     ) -> None:
         self.config = config
         self.queries = queries
@@ -93,7 +94,9 @@ class FaultHarness:
         self.selector = selector
         self.workgroups = selector.workgroups
         self.router = Router(router, self.report, int(queries.shape[1]))
-        self.win = DispatchWindow(config, selector, self.report, node_mailboxes)
+        self.win = DispatchWindow(
+            config, selector, self.report, node_mailboxes, fpayload=fpayload
+        )
         self.merger = ResultMerger(config, results, self.report, one_sided=False)
         # -- dispatch state ---------------------------------------------------
         self.pending: dict[tuple[int, int], dict] = {}

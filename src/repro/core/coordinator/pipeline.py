@@ -48,6 +48,7 @@ class CoordinatorPipeline:
         rma_window,
         selector: ReplicaSelector | None = None,
         metrics=None,
+        fpayload: dict | None = None,
     ) -> None:
         self.config = config
         self.queries = queries
@@ -59,7 +60,9 @@ class CoordinatorPipeline:
         self.selector = selector
         self.tracker = selector.tracker
         self.router = Router(router, self.report, int(queries.shape[1]))
-        self.window = DispatchWindow(config, selector, self.report, node_mailboxes)
+        self.window = DispatchWindow(
+            config, selector, self.report, node_mailboxes, fpayload=fpayload
+        )
         self.merger = ResultMerger(
             config, results, self.report, one_sided=rma_window is not None
         )

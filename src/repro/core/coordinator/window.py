@@ -28,7 +28,10 @@ from repro.core.coordinator.report import MasterReport
 from repro.core.messages import (
     TAG_TASK,
     batch_task_nbytes,
+    filter_payload_nbytes,
     make_batch_task,
+    make_filter_batch_task,
+    make_filter_task,
     make_task,
     task_nbytes,
 )
@@ -71,6 +74,7 @@ class DispatchWindow:
         selector: ReplicaSelector,
         report: MasterReport,
         node_mailboxes: list[Mailbox],
+        fpayload: dict | None = None,
     ) -> None:
         self.config = config
         self.selector = selector
@@ -78,6 +82,13 @@ class DispatchWindow:
         self.workgroups = selector.workgroups
         self.report = report
         self.node_mailboxes = node_mailboxes
+        #: run-wide pushed-down filter description; when set, every task
+        #: leaves as an "ftask"/"fbtask" carrying it (and its wire bytes).
+        #: None keeps the send path byte-identical to the unfiltered wire.
+        self.fpayload = fpayload
+        self._fpayload_nbytes = (
+            filter_payload_nbytes(fpayload) if fpayload is not None else 0
+        )
         self.window = int(config.dispatch_window)
         #: remaining credits per core; None when flow control is off
         self.credits = (
@@ -174,12 +185,16 @@ class DispatchWindow:
                 core=int(core),
             )
         node = self.config.node_of_core(core)
+        if self.fpayload is not None:
+            msg = make_filter_task(query_id, partition_id, qvec, self.fpayload)
+        else:
+            msg = make_task(query_id, partition_id, qvec)
         yield from ctx.send_to_mailbox(
             self.node_mailboxes[node],
-            make_task(query_id, partition_id, qvec),
+            msg,
             source=ctx.pid,
             tag=TAG_TASK,
-            nbytes=task_nbytes(qvec),
+            nbytes=task_nbytes(qvec) + self._fpayload_nbytes,
             same_node=False,
         )
 
@@ -223,11 +238,15 @@ class DispatchWindow:
                 )
             node = self.config.node_of_core(core)
             Qb = np.stack(qvecs)
+            if self.fpayload is not None:
+                msg = make_filter_batch_task(query_ids, partition_id, Qb, self.fpayload)
+            else:
+                msg = make_batch_task(query_ids, partition_id, Qb)
             yield from ctx.send_to_mailbox(
                 self.node_mailboxes[node],
-                make_batch_task(query_ids, partition_id, Qb),
+                msg,
                 source=ctx.pid,
                 tag=TAG_TASK,
-                nbytes=batch_task_nbytes(Qb),
+                nbytes=batch_task_nbytes(Qb) + self._fpayload_nbytes,
                 same_node=False,
             )

@@ -67,11 +67,18 @@ class DistributedANN:
 
     # -- construction -----------------------------------------------------------
 
-    def fit(self, X: np.ndarray) -> BuildReport:
-        """Build the distributed index over ``X`` (simulated construction)."""
+    def fit(self, X: np.ndarray, metadata=None) -> BuildReport:
+        """Build the distributed index over ``X`` (simulated construction).
+
+        ``metadata``: optional per-vector attribute columns — a
+        :class:`~repro.filtering.MetadataStore` or a plain ``{name:
+        column}`` dict row-aligned with ``X``.  Partitions receive their
+        rows' slice, which is what ``query(filter=...)`` predicates on;
+        a ``"tenant"`` column is what ``tenant=`` scoping matches.
+        """
         X = check_matrix(X, "X")
         self._dim = X.shape[1]
-        self._build = run_build(self.config, X)
+        self._build = run_build(self.config, X, metadata=metadata)
         max_node_bytes = max(
             ns.total_bytes() for ns in self._build.node_stores.values()
         )
@@ -115,28 +122,75 @@ class DistributedANN:
     # -- search ---------------------------------------------------------------------
 
     def query(
-        self, Q: np.ndarray, k: int | None = None
+        self, Q: np.ndarray, k: int | None = None, *, filter=None, tenant=None
     ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
         """Batch k-NN search.  Returns (distances, ids, report); rows of the
-        (n_queries, k) outputs are closest-first, padded with inf/-1."""
+        (n_queries, k) outputs are closest-first, padded with inf/-1.
+
+        ``filter``: restrict every query to rows matching the predicate —
+        a :class:`~repro.filtering.FilterSpec`, its text form (JSON or
+        shorthand like ``"tier=1,2"``), or a sequence of either (ANDed).
+        ``tenant``: scope to one tenant's rows (an implicit ``tenant ==
+        id`` clause over the build-time ``tenant`` metadata column).
+        Both default to the config's ``filter`` / ``tenant`` fields;
+        None everywhere keeps the run bit-identical to unfiltered.
+        """
         self._require_fitted()
         Q = check_matrix(Q, "Q")
         if Q.shape[1] != self._dim:
             raise ValueError(f"queries are {Q.shape[1]}-d, index is {self._dim}-d")
         k = k or self.config.k
-        return self._run_search(Q, k, self._make_searcher())
+        return self._run_search(
+            Q, k, self._make_searcher(), fpayload=self._resolve_filter(filter, tenant)
+        )
 
     def query_with_searcher(
-        self, Q: np.ndarray, k: int, searcher: LocalSearcher
+        self, Q: np.ndarray, k: int, searcher: LocalSearcher, *, filter=None, tenant=None
     ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
         """Batch search with a custom local searcher (the paper's §VI
         extensibility seam — see :mod:`repro.core.localindex`)."""
         self._require_fitted()
         Q = check_matrix(Q, "Q")
-        return self._run_search(Q, k, searcher)
+        return self._run_search(
+            Q, k, searcher, fpayload=self._resolve_filter(filter, tenant)
+        )
+
+    def _resolve_filter(self, filter, tenant) -> dict | None:  # noqa: A002
+        """The run's wire filter payload, or None for an unfiltered run.
+
+        Per-call arguments override the config's ``filter`` / ``tenant``
+        defaults; the tenant becomes an implicit equality clause ANDed
+        after the explicit ones.
+        """
+        from repro.filtering import FilterSpec, clauses_to_wire
+
+        cfg = self.config
+        if filter is None:
+            filter = cfg.filter  # noqa: A001
+        if tenant is None:
+            tenant = cfg.tenant
+        clauses = []
+        if filter is not None:
+            if isinstance(filter, (FilterSpec, str)):
+                filter = (filter,)  # noqa: A001
+            for f in filter:
+                clauses.append(f if isinstance(f, FilterSpec) else FilterSpec.parse(f))
+        if tenant is not None:
+            clauses.append(FilterSpec("tenant", "eq", int(tenant)))
+        if not clauses:
+            return None
+        payload = {
+            "clauses": clauses_to_wire(clauses),
+            "strategy": cfg.filter_strategy,
+        }
+        if tenant is not None:
+            # the tenant rides the payload so the runtime can account and
+            # cache-namespace per tenant (workers only read the clauses)
+            payload["tenant"] = int(tenant)
+        return payload
 
     def _run_search(
-        self, Q: np.ndarray, k: int, searcher: LocalSearcher
+        self, Q: np.ndarray, k: int, searcher: LocalSearcher, fpayload: dict | None = None
     ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
         # deferred import: repro.runtime's orchestration layer imports the
         # core role programs, so importing it at module scope would cycle
@@ -156,6 +210,7 @@ class DistributedANN:
             searcher,
             Q,
             k,
+            fpayload=fpayload,
         )
 
     # -- incremental updates ------------------------------------------------------

@@ -2,9 +2,16 @@
 
 Plain tags + tuple payloads; kept in one module so master, workers, and the
 multiple-owner variant agree on the format and tests can build messages.
+
+Filtered tasks ride their own payload kinds (``"ftask"`` / ``"fbtask"``)
+with their own size functions: the existing builders are byte-for-byte
+untouched, which is what keeps unfiltered runs bit-identical to the
+golden digests.
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 
@@ -27,6 +34,11 @@ __all__ = [
     "batch_task_nbytes",
     "make_batch_result",
     "batch_result_nbytes",
+    "make_filter_task",
+    "filter_task_nbytes",
+    "make_filter_batch_task",
+    "filter_batch_task_nbytes",
+    "filter_payload_nbytes",
 ]
 
 #: master/owner -> worker node: one (query, partition) unit of work
@@ -95,6 +107,42 @@ def make_batch_task(query_ids: list[int], partition_id: int, Q: np.ndarray) -> t
 def batch_task_nbytes(Q: np.ndarray) -> int:
     # query matrix + one id per row + partition id + header
     return int(Q.nbytes) + 8 * int(Q.shape[0]) + 16
+
+
+def make_filter_task(
+    query_id: int, partition_id: int, qvec: np.ndarray, fpayload: dict
+) -> tuple:
+    """A task carrying a pushed-down filter.
+
+    ``fpayload`` is the JSON-able filter description
+    (``{"clauses": [FilterSpec dicts...], "strategy": ...}``); the worker
+    reconstructs the predicates and evaluates them against its
+    partition's attribute slice.  Owner-mode senders append their reply
+    mailbox as a 6th element, mirroring the plain task's optional 5th.
+    """
+    return ("ftask", int(query_id), int(partition_id), qvec, fpayload)
+
+
+def filter_payload_nbytes(fpayload: dict) -> int:
+    """Wire bytes of the serialized filter description."""
+    return len(json.dumps(fpayload, sort_keys=True, separators=(",", ":")))
+
+
+def filter_task_nbytes(qvec: np.ndarray, fpayload: dict) -> int:
+    # a plain task plus the serialized predicate payload
+    return task_nbytes(qvec) + filter_payload_nbytes(fpayload)
+
+
+def make_filter_batch_task(
+    query_ids: list[int], partition_id: int, Q: np.ndarray, fpayload: dict
+) -> tuple:
+    """B filtered queries for one partition, sharing one filter payload."""
+    return ("fbtask", [int(q) for q in query_ids], int(partition_id), Q, fpayload)
+
+
+def filter_batch_task_nbytes(Q: np.ndarray, fpayload: dict) -> int:
+    # the batch shares a single serialized predicate payload
+    return batch_task_nbytes(Q) + filter_payload_nbytes(fpayload)
 
 
 def make_credit(query_ids: list[int], partition_id: int) -> tuple:

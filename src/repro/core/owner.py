@@ -20,6 +20,7 @@ from repro.core.messages import (
     TAG_END,
     TAG_RESULT,
     TAG_TASK,
+    filter_task_nbytes,
     task_nbytes,
 )
 from repro.core.replication import Workgroups
@@ -43,6 +44,7 @@ def owner_node_program(
     owner_comm: Comm,
     k: int,
     node_id: int,
+    fpayload: dict | None = None,
 ):
     """One node's owner proc.  Returns a :class:`MasterReport`."""
     report = MasterReport(config.n_cores)
@@ -64,12 +66,20 @@ def owner_node_program(
                 report.tasks_sent += 1
                 report.batches_sent += 1
                 node = config.node_of_core(core)
+                if fpayload is not None:
+                    # the filtered task shifts the reply mailbox to [5] to
+                    # fit the filter payload at [4] (see make_filter_task)
+                    msg = ("ftask", int(qid), int(pid_part), q, fpayload, ctx.mailbox)
+                    nbytes = filter_task_nbytes(q, fpayload)
+                else:
+                    msg = ("task", int(qid), int(pid_part), q, ctx.mailbox)
+                    nbytes = task_nbytes(q)
                 yield from ctx.send_to_mailbox(
                     node_mailboxes[node],
-                    ("task", int(qid), int(pid_part), q, ctx.mailbox),
+                    msg,
                     source=ctx.pid,
                     tag=TAG_TASK,
-                    nbytes=task_nbytes(q),
+                    nbytes=nbytes,
                     same_node=node == node_id,
                 )
                 expected += 1

@@ -25,6 +25,15 @@ class Partition:
     ids: np.ndarray
     index: HnswIndex | None = None
     sample: tuple[np.ndarray, np.ndarray] | None = None
+    #: per-row attribute columns (this partition's slice of the build-time
+    #: :class:`~repro.filtering.MetadataStore`); None on unfiltered builds.
+    #: Row-aligned with ``points``/``ids`` — and, because the local HNSW
+    #: inserts rows in order, with the index's internal node ids, so a row
+    #: mask over these columns doubles as the index's filter mask.
+    attrs: dict[str, np.ndarray] | None = None
+    #: rows of ``points`` the modeled ``sample`` was drawn from (position-
+    #: aligned with the sample's rows); None with a real index
+    sample_rows: np.ndarray | None = None
 
     @property
     def n_points(self) -> int:
@@ -32,7 +41,10 @@ class Partition:
 
     @property
     def nbytes(self) -> int:
-        return int(self.points.nbytes + self.ids.nbytes)
+        base = int(self.points.nbytes + self.ids.nbytes)
+        if self.attrs:
+            base += int(sum(col.nbytes for col in self.attrs.values()))
+        return base
 
 
 @dataclass

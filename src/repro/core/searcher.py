@@ -23,7 +23,30 @@ from repro.core.partition import Partition
 from repro.metrics import get_metric
 from repro.simmpi.costmodel import CostModel
 
-__all__ = ["LocalSearcher", "RealHnswSearcher", "ModeledSearcher", "generic_search_batch"]
+__all__ = [
+    "LocalSearcher",
+    "RealHnswSearcher",
+    "ModeledSearcher",
+    "generic_search_batch",
+    "new_filter_stats",
+]
+
+
+def new_filter_stats() -> dict[str, int]:
+    """Zeroed per-run filtered-search accounting.
+
+    Both built-in searchers keep one of these dicts (the single searcher
+    instance is shared by every worker proc of a run, so the counts are
+    run-global); the runtime folds it into the metrics registry and the
+    SearchReport after the simulation drains.
+    """
+    return {
+        "filter_tasks_pre": 0,
+        "filter_tasks_post": 0,
+        "filter_evals_pre": 0,
+        "filter_evals_post": 0,
+        "filter_empty_tasks": 0,
+    }
 
 
 class LocalSearcher(Protocol):
@@ -67,6 +90,82 @@ class RealHnswSearcher:
     def __init__(self, cost: CostModel, ef_search: int) -> None:
         self.cost = cost
         self.ef_search = ef_search
+        self.filter_stats = new_filter_stats()
+
+    def search_filtered(
+        self,
+        partition: Partition,
+        query: np.ndarray,
+        k: int,
+        clauses,
+        strategy: str = "auto",
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Filtered local k-NN with the selectivity crossover.
+
+        Evaluates the pushed-down predicate conjunction against the
+        partition's attribute slice, then either brute-forces exactly the
+        matching rows (``pre``; charged one eval per match) or runs the
+        filtered HNSW traversal (``post``; charged its measured evals) —
+        ``auto`` picks per the partition's matching fraction (see
+        :mod:`repro.filtering.strategy`).
+        """
+        from repro.filtering import choose_strategy, mask_for
+
+        index = partition.index
+        if index is None:
+            raise ValueError(
+                f"partition {partition.partition_id} has no HNSW index; "
+                "was the system built with searcher='modeled'?"
+            )
+        mask = mask_for(partition.attrs, clauses, partition.n_points)
+        n_match = int(np.count_nonzero(mask))
+        if n_match == 0:
+            self.filter_stats["filter_empty_tasks"] += 1
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+                0.0,
+            )
+        chosen = choose_strategy(strategy, n_match, partition.n_points, k)
+        if chosen == "pre":
+            rows = np.flatnonzero(mask)
+            d = index.metric.one_to_many(query, partition.points[rows])
+            order = np.lexsort((partition.ids[rows], d))[:k]
+            d_out = np.asarray(d[order], dtype=np.float64)
+            ids_out = np.asarray(partition.ids[rows][order], dtype=np.int64)
+            evals = n_match
+            self.filter_stats["filter_tasks_pre"] += 1
+            self.filter_stats["filter_evals_pre"] += evals
+        else:
+            # row order == internal node order, so the row mask is the
+            # index's node mask directly
+            before = index.n_dist_evals
+            d_out, ids_out = index.knn_search(
+                query, k, ef=self.ef_search, filter=mask
+            )
+            evals = index.n_dist_evals - before
+            self.filter_stats["filter_tasks_post"] += 1
+            self.filter_stats["filter_evals_post"] += evals
+        return d_out, ids_out, self.cost.distance_cost(evals, index.dim)
+
+    def search_filtered_batch(
+        self,
+        partition: Partition,
+        Q: np.ndarray,
+        k: int,
+        clauses,
+        strategy: str = "auto",
+    ) -> tuple[list[np.ndarray], list[np.ndarray], float]:
+        """Row-aligned filtered batch; each row exactly ``search_filtered``."""
+        ds: list[np.ndarray] = []
+        idss: list[np.ndarray] = []
+        seconds = 0.0
+        for q in Q:
+            d, ids, s = self.search_filtered(partition, q, k, clauses, strategy)
+            ds.append(d)
+            idss.append(ids)
+            seconds += s
+        return ds, idss, seconds
 
     def search(
         self, partition: Partition, query: np.ndarray, k: int
@@ -146,6 +245,7 @@ class ModeledSearcher:
         self.virtual_points = virtual_points
         self.metric = get_metric(metric)
         self.search_seconds = search_seconds
+        self.filter_stats = new_filter_stats()
 
     def search(
         self, partition: Partition, query: np.ndarray, k: int
@@ -173,6 +273,76 @@ class ModeledSearcher:
         # dispatches through self.search, so GpuModeledSearcher's per-query
         # launch overhead is charged per batched row too
         return generic_search_batch(self, partition, Q, k)
+
+    def search_filtered(
+        self,
+        partition: Partition,
+        query: np.ndarray,
+        k: int,
+        clauses,
+        strategy: str = "auto",
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Filtered modeled search: answer from the matching sample rows.
+
+        The virtual cost stays the modeled full-scale search cost (the
+        model has no per-strategy refinement); the crossover decision is
+        still taken — and counted in ``filter_stats`` — over the real
+        partition mask so strategy accounting works in modeled runs too.
+        """
+        from repro.filtering import choose_strategy, mask_for
+
+        mask = mask_for(partition.attrs, clauses, partition.n_points)
+        n_match = int(np.count_nonzero(mask))
+        if n_match == 0:
+            self.filter_stats["filter_empty_tasks"] += 1
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64), 0.0
+        chosen = choose_strategy(strategy, n_match, partition.n_points, k)
+        self.filter_stats[f"filter_tasks_{'pre' if chosen == 'pre' else 'post'}"] += 1
+        self.filter_stats[f"filter_evals_{'pre' if chosen == 'pre' else 'post'}"] += (
+            n_match if chosen == "pre" else min(partition.n_points, self.ef_search * self.m)
+        )
+        # charge the (subclass-specific) modeled cost once; the unfiltered
+        # answer rows are discarded
+        _, _, seconds = self.search(partition, query, 1)
+        if partition.sample is None:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64), seconds
+        pts, ids = partition.sample
+        if partition.sample_rows is not None:
+            smask = mask[partition.sample_rows]
+        else:
+            # legacy partitions without recorded sample rows: map sample
+            # ids back to partition rows once
+            row_of = {int(g): r for r, g in enumerate(partition.ids)}
+            smask = np.array([mask[row_of[int(g)]] for g in ids], dtype=bool)
+        pts, ids = pts[smask], ids[smask]
+        if not len(ids):
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64), seconds
+        d = self.metric.one_to_many(query, pts)
+        order = np.lexsort((ids, d))[:k]
+        return (
+            np.asarray(d[order], dtype=np.float64),
+            np.asarray(ids[order], dtype=np.int64),
+            seconds,
+        )
+
+    def search_filtered_batch(
+        self,
+        partition: Partition,
+        Q: np.ndarray,
+        k: int,
+        clauses,
+        strategy: str = "auto",
+    ) -> tuple[list[np.ndarray], list[np.ndarray], float]:
+        """Row-aligned filtered batch; each row exactly ``search_filtered``."""
+        ds: list[np.ndarray] = []
+        idss: list[np.ndarray] = []
+        seconds = 0.0
+        for q in Q:
+            d, ids, s = self.search_filtered(partition, q, k, clauses, strategy)
+            ds.append(d)
+            idss.append(ids)
+            seconds += s
+        return ds, idss, seconds
 
     def build_seconds(self, partition: Partition) -> float:
         return self.cost.hnsw_build_cost(

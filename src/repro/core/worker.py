@@ -36,6 +36,32 @@ from repro.simmpi.rma import Window
 __all__ = ["worker_thread_program"]
 
 
+def _filtered_call(searcher: LocalSearcher, batch: bool):
+    """The searcher's filtered entry point for a pushed-down predicate.
+
+    Raises a clear error for custom searchers that predate the filtered
+    surface instead of silently answering unfiltered.
+    """
+    name = "search_filtered_batch" if batch else "search_filtered"
+    fn = getattr(searcher, name, None)
+    if fn is None:
+        raise TypeError(
+            f"{type(searcher).__name__} has no {name}(); filtered queries "
+            "need a searcher implementing the filtered LocalSearcher surface"
+        )
+    return fn
+
+
+def _wire_filter(fpayload: dict):
+    """(clauses, strategy) from a task message's filter payload."""
+    from repro.filtering import clauses_from_wire
+
+    return (
+        clauses_from_wire(fpayload.get("clauses", [])),
+        fpayload.get("strategy", "auto"),
+    )
+
+
 def worker_thread_program(
     ctx: Context,
     node_mailbox: Mailbox,
@@ -71,10 +97,12 @@ def worker_thread_program(
             if kind == "end":
                 yield from ctx.set_event(done_event)
                 break
-            if kind == "btask":
+            if kind in ("btask", "fbtask"):
                 # ("btask", qids, pid, Q): B queries for one partition,
-                # answered with one local batch search (see master dispatch)
+                # answered with one local batch search (see master dispatch);
+                # "fbtask" additionally carries the filter payload at [4]
                 _, query_ids, partition_id, Qb = payload[:4]
+                fpayload = payload[4] if kind == "fbtask" else None
                 qids = tuple(int(q) for q in query_ids) if ctx.trace_active else None
                 if ctx.trace_active and req.arrival is not None:
                     # the gap between the task landing in the node mailbox
@@ -93,13 +121,19 @@ def worker_thread_program(
                     n_queries=len(query_ids),
                 ):
                     partition = node_store.get(partition_id)
-                    search_batch = getattr(searcher, "search_batch", None)
-                    if search_batch is not None:
-                        ds, idss, seconds = search_batch(partition, Qb, k)
-                    else:
-                        ds, idss, seconds = generic_search_batch(
-                            searcher, partition, Qb, k
+                    if fpayload is not None:
+                        clauses, strat = _wire_filter(fpayload)
+                        ds, idss, seconds = _filtered_call(searcher, batch=True)(
+                            partition, Qb, k, clauses, strat
                         )
+                    else:
+                        search_batch = getattr(searcher, "search_batch", None)
+                        if search_batch is not None:
+                            ds, idss, seconds = search_batch(partition, Qb, k)
+                        else:
+                            ds, idss, seconds = generic_search_batch(
+                                searcher, partition, Qb, k
+                            )
                     yield from ctx.compute(seconds, kind="search")
                 processed += len(query_ids)
                 with ctx.span("reduce"):
@@ -131,9 +165,15 @@ def worker_thread_program(
                 continue
             # tasks are ("task", qid, pid, qvec) from the master, or the
             # 5-tuple variant carrying an explicit reply mailbox from a
-            # multiple-owner dispatcher
+            # multiple-owner dispatcher; "ftask" shifts those by one to
+            # fit the filter payload at [4]
             _, query_id, partition_id, qvec = payload[:4]
-            reply_to = payload[4] if len(payload) > 4 else master_mailbox
+            if kind == "ftask":
+                fpayload = payload[4]
+                reply_to = payload[5] if len(payload) > 5 else master_mailbox
+            else:
+                fpayload = None
+                reply_to = payload[4] if len(payload) > 4 else master_mailbox
             if ctx.trace_active and req.arrival is not None:
                 ctx.trace_complete(
                     "queue",
@@ -144,7 +184,13 @@ def worker_thread_program(
                 )
             with ctx.span("search", query_id=int(query_id), partition=int(partition_id)):
                 partition = node_store.get(partition_id)
-                dists, ids, seconds = searcher.search(partition, qvec, k)
+                if fpayload is not None:
+                    clauses, strat = _wire_filter(fpayload)
+                    dists, ids, seconds = _filtered_call(searcher, batch=False)(
+                        partition, qvec, k, clauses, strat
+                    )
+                else:
+                    dists, ids, seconds = searcher.search(partition, qvec, k)
                 yield from ctx.compute(seconds, kind="search")
             processed += 1
             # returning a result is the worker-side half of the reduction:

@@ -1,0 +1,46 @@
+"""Filtered & multi-tenant search: predicates, metadata, strategy crossover.
+
+The pieces, in query order:
+
+1. :class:`MetadataStore` — int/categorical attribute columns attached
+   at build time and sliced per partition for the workers;
+2. :class:`FilterSpec` — one frozen, JSON-portable predicate
+   (``eq`` / ``in`` / ``range``); a query carries a conjunction of them
+   down the wire in its task messages;
+3. :func:`mask_for` — a worker turns the conjunction plus its
+   partition's attribute slice into a row mask;
+4. :func:`choose_strategy` — the selectivity crossover that picks
+   brute-force-over-matches (``pre``) vs filtered HNSW traversal
+   (``post``) per task.
+
+Tenant isolation is the degenerate case: ``tenant=t`` is sugar for the
+clause ``FilterSpec("tenant", "eq", t)``, plus tenant-namespaced result
+cache keys and per-tenant admission/served accounting in
+``repro.serving``.  See ``docs/filtering.md``.
+"""
+
+from repro.filtering.spec import (
+    FilterSpec,
+    FilterSpecError,
+    clauses_from_wire,
+    clauses_to_wire,
+)
+from repro.filtering.store import MetadataStore, mask_for, selectivity
+from repro.filtering.strategy import (
+    CROSSOVER_SELECTIVITY,
+    STRATEGIES,
+    choose_strategy,
+)
+
+__all__ = [
+    "CROSSOVER_SELECTIVITY",
+    "FilterSpec",
+    "FilterSpecError",
+    "MetadataStore",
+    "STRATEGIES",
+    "choose_strategy",
+    "clauses_from_wire",
+    "clauses_to_wire",
+    "mask_for",
+    "selectivity",
+]

@@ -1,0 +1,139 @@
+"""Filter predicates: the wire- and CLI-portable :class:`FilterSpec`.
+
+A filtered query carries a conjunction of small, attribute-level
+predicates — ``attr == v``, ``attr in {…}``, ``lo <= attr <= hi`` — down
+the dispatch path to the workers, which evaluate them against the
+per-partition attribute columns (:class:`~repro.filtering.MetadataStore`
+slices shipped at build time).  The spec is deliberately tiny: frozen,
+hashable, JSON round-trippable (the task messages and the ``--filter``
+CLI flag both carry the dict form), and evaluated vectorized over a
+whole attribute column at once.
+
+Shorthand grammar accepted by :meth:`FilterSpec.parse` (the ``--filter``
+flag syntax; space-free so it survives shells unquoted)::
+
+    tier=3          attr == 3           (eq)
+    tier=1,2,5      attr in {1, 2, 5}   (in)
+    tier=10..20     10 <= attr <= 20    (range, inclusive)
+
+A JSON object string (``{"attr": ..., "op": ..., "value": ...}``) is
+also accepted anywhere the shorthand is.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FilterSpec", "FilterSpecError", "clauses_from_wire", "clauses_to_wire"]
+
+_OPS = ("eq", "in", "range")
+
+
+class FilterSpecError(ValueError):
+    """Raised for malformed predicates (bad op, bad shorthand, bad JSON)."""
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """One attribute predicate: ``attr <op> value``.
+
+    ``op`` is ``"eq"`` (value: int), ``"in"`` (value: sorted tuple of
+    ints), or ``"range"`` (value: ``(lo, hi)`` inclusive).  Instances are
+    frozen and hashable so they can key caches and ride in frozen
+    configs; :meth:`to_dict`/:meth:`from_dict` are the JSON wire form.
+    """
+
+    attr: str
+    op: str
+    value: int | tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attr or not isinstance(self.attr, str):
+            raise FilterSpecError(f"filter attr must be a non-empty string, got {self.attr!r}")
+        if self.op not in _OPS:
+            raise FilterSpecError(f"filter op must be one of {_OPS}, got {self.op!r}")
+        if self.op == "eq":
+            object.__setattr__(self, "value", int(self.value))
+        elif self.op == "in":
+            vals = tuple(sorted(int(v) for v in self.value))
+            if not vals:
+                raise FilterSpecError("'in' filter needs at least one value")
+            object.__setattr__(self, "value", vals)
+        else:  # range
+            lo, hi = self.value
+            if int(lo) > int(hi):
+                raise FilterSpecError(f"empty range [{lo}, {hi}]")
+            object.__setattr__(self, "value", (int(lo), int(hi)))
+
+    # -- evaluation ---------------------------------------------------------
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask over an attribute column (vectorized)."""
+        values = np.asarray(values)
+        if self.op == "eq":
+            return values == self.value
+        if self.op == "in":
+            return np.isin(values, np.asarray(self.value))
+        lo, hi = self.value
+        return (values >= lo) & (values <= hi)
+
+    # -- wire / CLI forms ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        value = self.value if self.op == "eq" else list(self.value)
+        return {"attr": self.attr, "op": self.op, "value": value}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> FilterSpec:
+        try:
+            return cls(attr=d["attr"], op=d["op"], value=d["value"])
+        except (KeyError, TypeError) as exc:
+            raise FilterSpecError(f"malformed filter dict {d!r}: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, s: str) -> FilterSpec:
+        try:
+            return cls.from_dict(json.loads(s))
+        except json.JSONDecodeError as exc:
+            raise FilterSpecError(f"bad filter JSON {s!r}: {exc}") from exc
+
+    @classmethod
+    def parse(cls, text: str) -> FilterSpec:
+        """A spec from the CLI shorthand (or a JSON object string)."""
+        text = text.strip()
+        if text.startswith("{"):
+            return cls.from_json(text)
+        if "=" not in text:
+            raise FilterSpecError(
+                f"bad filter {text!r}: expected attr=V, attr=V1,V2,... or attr=LO..HI"
+            )
+        attr, _, rhs = text.partition("=")
+        attr, rhs = attr.strip(), rhs.strip()
+        try:
+            if ".." in rhs:
+                lo, _, hi = rhs.partition("..")
+                return cls(attr=attr, op="range", value=(int(lo), int(hi)))
+            if "," in rhs:
+                vals = tuple(int(v) for v in rhs.split(",") if v.strip())
+                return cls(attr=attr, op="in", value=vals)
+            return cls(attr=attr, op="eq", value=int(rhs))
+        except ValueError as exc:
+            if isinstance(exc, FilterSpecError):
+                raise
+            raise FilterSpecError(f"bad filter {text!r}: {exc}") from exc
+
+
+def clauses_to_wire(clauses) -> list[dict]:
+    """The JSON-able task-message payload for a predicate conjunction."""
+    return [c.to_dict() for c in clauses]
+
+
+def clauses_from_wire(payload) -> tuple[FilterSpec, ...]:
+    """Reconstruct the conjunction a task message carried."""
+    return tuple(FilterSpec.from_dict(d) for d in payload)

@@ -56,6 +56,7 @@ from repro.hnsw.native import native_build_for, native_search_layer_for
 from repro.hnsw.params import HnswParams
 from repro.hnsw.select import select_heuristic, select_heuristic_rows, select_simple
 from repro.metrics import Metric, get_metric
+from repro.protocols import check_filter_mask
 from repro.utils.validation import check_matrix, check_positive_int, check_vector
 
 __all__ = ["HnswIndex"]
@@ -897,15 +898,31 @@ class HnswIndex:
         return list(zip(rd[:m].tolist(), ri[:m].tolist()))
 
     def knn_search(
-        self, query: np.ndarray, k: int, ef: int | None = None
+        self,
+        query: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        *,
+        filter: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Approximate k-NN; returns (distances, external ids), closest first."""
+        """Approximate k-NN; returns (distances, external ids), closest first.
+
+        ``filter``: optional boolean mask over insertion-order rows (which
+        equal internal node ids); only unmasked rows may appear in the
+        result, but masked rows still conduct the traversal — see
+        :meth:`_search_layer_filtered`.  ``filter=None`` is bit-identical
+        to the unfiltered call.
+        """
         check_positive_int(k, "k")
         q = check_vector(query, "query", dim=self.dim)
         if self._n == 0:
             return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
         ef = max(ef or self.params.ef_search, k)
-        return self._search_prepared(q, k, ef)
+        if filter is None:
+            return self._search_prepared(q, k, ef)
+        return self._search_prepared_filtered(
+            q, k, ef, check_filter_mask(filter, self._n)
+        )
 
     def _search_prepared(self, q: np.ndarray, k: int, ef: int) -> tuple[np.ndarray, np.ndarray]:
         """K-NN-SEARCH (paper Alg. 5) for a validated query and effective ef."""
@@ -918,16 +935,115 @@ class HnswIndex:
         ids = np.array([self._ext[p[1]] for p in pairs], dtype=np.int64)
         return d, ids
 
+    def _search_prepared_filtered(
+        self, q: np.ndarray, k: int, ef: int, allowed: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """K-NN-SEARCH restricted to ``allowed`` rows.
+
+        The upper-layer greedy descent is unfiltered (it only picks the
+        layer-0 entry point, which need not match); the layer-0 beam runs
+        the filtered SEARCH-LAYER variant.
+        """
+        ep = self._entry
+        ep_dist = self._dist_one(q, ep)
+        for lv in range(self.max_level, 0, -1):
+            ep, ep_dist = self._greedy_step(q, ep, ep_dist, lv)
+        pairs = self._search_layer_filtered(q, [(ep_dist, ep)], ef, 0, allowed)[:k]
+        d = np.array([p[0] for p in pairs], dtype=np.float64)
+        ids = np.array([self._ext[p[1]] for p in pairs], dtype=np.int64)
+        return d, ids
+
+    def _search_layer_filtered(
+        self,
+        q: np.ndarray,
+        entry: list[tuple[float, int]],
+        ef: int,
+        level: int,
+        allowed: np.ndarray,
+    ) -> list[tuple[float, int]]:
+        """SEARCH-LAYER over a row mask: filtered results, unfiltered frontier.
+
+        Non-matching nodes are evaluated and expanded exactly like the
+        plain beam — they enter the candidate frontier and conduct the
+        walk — but only ``allowed`` nodes may enter the bounded result
+        set.  Pruning non-matching nodes from the frontier instead would
+        disconnect the traversal whenever the matching rows don't form a
+        connected subgraph; keeping them preserves the full graph's
+        connectivity at the cost of extra evaluations (which
+        ``n_dist_evals`` charges normally).  Until ``ef`` matching nodes
+        are found the result bound is infinite, so no expansion is cut
+        short early.  Always the python path — the compiled SEARCH-LAYER
+        has no mask support.
+        """
+        nbrs, cnts = self._nbrs[level], self._cnts[level]
+        X = self._X
+        stamp = self._visit_stamp
+        self._visit_epoch += 1
+        epoch = self._visit_epoch
+        buf = self._buf_kernel
+        kernel = self._fast_kernel
+        one_to_many = self.metric.one_to_many
+        for _, c in entry:
+            stamp[c] = epoch
+        candidates = list(entry)
+        heapify(candidates)
+        results = [(-d, n) for d, n in entry if allowed[n]]
+        heapify(results)
+        nres = len(results)
+        n_evals = 0
+        while candidates:
+            c_dist, c = heappop(candidates)
+            full = nres >= ef
+            bound = -results[0][0] if nres else np.inf
+            if full and c_dist > bound:
+                break
+            cnt = cnts[c]
+            if not cnt:
+                continue
+            nb = nbrs[c, :cnt]
+            fresh = nb[stamp[nb] != epoch]
+            if not fresh.size:
+                continue
+            stamp[fresh] = epoch
+            if buf is not None:
+                dists = buf(X, fresh, q)
+            elif kernel is not None:
+                dists = kernel(q, X[fresh])
+            else:
+                dists = one_to_many(q, X[fresh])
+            n_evals += fresh.size
+            for d, n in zip(dists.tolist(), fresh.tolist()):
+                if full and d >= bound:
+                    continue
+                heappush(candidates, (d, n))
+                if allowed[n]:
+                    if nres < ef:
+                        heappush(results, (-d, n))
+                        nres += 1
+                        full = nres >= ef
+                    else:
+                        heapreplace(results, (-d, n))
+                    bound = -results[0][0]
+        self.n_dist_evals += n_evals
+        return sorted([(-d, n) for d, n in results])
+
     def knn_search_batch(
-        self, Q: np.ndarray, k: int, ef: int | None = None
+        self,
+        Q: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        *,
+        filter: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Approximate k-NN for a whole query matrix.
 
         Returns ``(D, I)`` of shape (n_queries, k): row ``i`` holds the
         results for ``Q[i]`` closest first, padded with ``inf`` / ``-1``
-        when fewer than ``k`` points exist.  Each row's traversal — and
-        therefore its results and its ``n_dist_evals`` charge — is
-        identical to a ``knn_search(Q[i], k, ef)`` call; batching only
+        when fewer than ``k`` points exist — always ``float64`` distances
+        and ``int64`` ids (the pinned batch-surface dtype contract).
+        Each row's traversal — and therefore its results and its
+        ``n_dist_evals`` charge — is identical to a
+        ``knn_search(Q[i], k, ef, filter=...)`` call; batching only
         amortizes the per-call validation and Python dispatch, which is
         what the cluster workers exploit (see ``core/worker.py``).
         """
@@ -941,8 +1057,12 @@ class HnswIndex:
         if self._n == 0:
             return D, I
         ef_eff = max(ef or self.params.ef_search, k)
+        mask = None if filter is None else check_filter_mask(filter, self._n)
         for i in range(nq):
-            d, ids = self._search_prepared(Q[i], k, ef_eff)
+            if mask is None:
+                d, ids = self._search_prepared(Q[i], k, ef_eff)
+            else:
+                d, ids = self._search_prepared_filtered(Q[i], k, ef_eff, mask)
             D[i, : len(d)] = d
             I[i, : len(ids)] = ids
         return D, I

@@ -93,6 +93,8 @@ class IVFPQIndex:
         # transposed fast-scan layout, built once (see repro.pq.kernels)
         self._lists_codes_t = [transpose_codes(lc) for lc in self._lists_codes]
         self._lists_ids = [ids[assign == c] for c in range(self.n_cells)]
+        # insertion-order rows per list, for filter-mask lookups
+        self._lists_rows = [np.flatnonzero(assign == c) for c in range(self.n_cells)]
         self._X = X if self.keep_vectors else None
         self._id_to_row = (
             {int(g): r for r, g in enumerate(ids)} if self.keep_vectors else None
@@ -126,17 +128,28 @@ class IVFPQIndex:
         order = order[:k]
         return np.sqrt(d[order]), ids[order]
 
-    def knn_search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def knn_search(
+        self, query: np.ndarray, k: int, *, filter: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Approximate k-NN by ADC over the probed cells.
 
         ``rerank > 0`` (constructor knob) rescores that many top ADC
         candidates with true distances (requires ``keep_vectors=True``);
         distances returned are then exact for the reranked prefix.
+
+        ``filter``: optional boolean mask over insertion-order rows; each
+        probed list is still fast-scanned whole (the transposed layout is
+        all-or-nothing), then masked rows are dropped before ranking.
         """
         if self._coarse is None:
             raise RuntimeError("fit before searching")
         check_positive_int(k, "k")
         q = check_vector(query, "query", dim=self.pq.dim)
+        mask = None
+        if filter is not None:
+            from repro.protocols import check_filter_mask
+
+            mask = check_filter_mask(filter, len(self))
         qf = q.astype(np.float64)
         probe = self._route(qf)
         # one table build per query, reused across every probed list
@@ -148,14 +161,22 @@ class IVFPQIndex:
             n = ct.shape[1]
             if n == 0:
                 continue
-            all_d.append(adc_scan(table, ct))
+            d = adc_scan(table, ct)
             # ADC cost: one lookup-sum per code (the amortized table build
             # is charged through the coarse routing above)
             self.n_dist_evals += n
-            all_i.append(self._lists_ids[c])
+            gids = self._lists_ids[c]
+            if mask is not None:
+                keep = mask[self._lists_rows[c]]
+                d, gids = d[keep], gids[keep]
+            if len(d):
+                all_d.append(d)
+                all_i.append(gids)
         return self._finalize(qf, all_d, all_i, k)
 
-    def knn_search_batch(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def knn_search_batch(
+        self, Q: np.ndarray, k: int, *, filter: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Padded (n_queries, k) batch search (the :class:`~repro.protocols.Searcher`
         contract); each row is exactly ``knn_search(Q[i], k)``.
 
@@ -172,6 +193,12 @@ class IVFPQIndex:
         Q = check_matrix(Q, "Q")
         if Q.shape[1] != self.pq.dim:
             raise ValueError(f"expected dim {self.pq.dim}, got {Q.shape[1]}")
+        if filter is not None:
+            # filtered rows break the cell-grouped scan sharing; fall back
+            # to the row-by-row path (identical per-row results)
+            from repro.protocols import batch_from_single
+
+            return batch_from_single(self.knn_search, Q, k, filter=filter)
         nq = Q.shape[0]
         qfs = [Q[i].astype(np.float64) for i in range(nq)]
         probes = [self._route(qfs[i]) for i in range(nq)]

@@ -2,14 +2,29 @@
 
 Every in-memory index in this repo — the production :class:`~repro.hnsw.HnswIndex`,
 its dict-of-lists ground truth :class:`~repro.hnsw.reference.ReferenceHnswIndex`,
-and the KD-tree / LSH / IVF-PQ baselines — answers k-NN queries through
-one structural interface:
+and the KD-tree / VP-tree / LSH / IVF-PQ baselines — answers k-NN queries
+through one structural interface:
 
-- ``knn_search(query, k)`` → ``(distances, ids)`` closest first, possibly
-  shorter than ``k`` when the index holds fewer candidates;
-- ``knn_search_batch(Q, k)`` → ``(D, I)`` of shape (n_queries, k), rows
-  closest first, padded with ``inf`` / ``-1`` — row ``i`` agrees with
-  ``knn_search(Q[i], k)`` on the unpadded prefix.
+- ``knn_search(query, k, *, filter=None)`` → ``(distances, ids)`` closest
+  first, possibly shorter than ``k`` when the index holds fewer candidates;
+- ``knn_search_batch(Q, k, *, filter=None)`` → ``(D, I)`` of shape
+  (n_queries, k), rows closest first, padded with ``inf`` / ``-1`` — row
+  ``i`` agrees with ``knn_search(Q[i], k)`` on the unpadded prefix.
+
+**Dtype contract** (pinned; ``tests/test_searcher_protocol.py`` enforces
+it across every backend): distances are ``float64`` and ids are ``int64``
+on both the single-query and the batch surface — including the batch
+padding rows.  Backends may compute in float32 internally but the public
+arrays are always float64/int64.
+
+**Filtering** (keyword-only, default ``None`` — the unfiltered call sites
+and results are untouched): ``filter`` is a boolean mask over the index's
+rows *in insertion order* (row ``i`` = the ``i``-th vector given to the
+constructor / ``add``).  Only rows with ``filter[i]`` true may appear in
+the results; graph backends keep masked-out rows in the traversal
+frontier so connectivity survives, and the exact backends stay exact
+over the matching subset.  Passing ``filter=None`` must return results
+bit-identical to omitting the argument.
 
 Per-backend search knobs (``ef``, ``n_probe``, ``rerank``, …) are
 construction-time state or optional keywords, never required positionals,
@@ -19,7 +34,9 @@ over every backend.
 
 :func:`batch_from_single` is the shared row-by-row fallback the
 non-graph backends use to provide the batch half of the contract with
-identical per-row results.
+identical per-row results; :func:`filtered_overfetch` is the shared
+overfetch-and-subset fallback backends without a native filtered
+traversal use for the filtered half.
 """
 
 from __future__ import annotations
@@ -28,36 +45,107 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["Searcher", "batch_from_single"]
+__all__ = [
+    "Searcher",
+    "batch_from_single",
+    "check_filter_mask",
+    "filtered_overfetch",
+]
 
 
 @runtime_checkable
 class Searcher(Protocol):
     """Structural interface every k-NN index backend satisfies."""
 
-    def knn_search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """(distances, ids) for one query, closest first."""
+    def knn_search(
+        self, query: np.ndarray, k: int, *, filter: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(distances, ids) for one query, closest first (float64/int64).
+
+        ``filter``: optional boolean mask over insertion-order rows;
+        only unmasked rows may appear in the result.
+        """
         ...
 
-    def knn_search_batch(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """(D, I) of shape (n_queries, k), inf/-1 padded, closest first."""
+    def knn_search_batch(
+        self, Q: np.ndarray, k: int, *, filter: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(D, I) of shape (n_queries, k), inf/-1 padded, closest first
+        (float64/int64); the same row filter applies to every query."""
         ...
 
 
-def batch_from_single(search, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+def batch_from_single(
+    search, Q: np.ndarray, k: int, *, filter: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Assemble the padded (n_queries, k) batch result from per-row calls.
 
     ``search`` is the backend's single-query callable; each row of the
     output is exactly its return for that query, padded to width ``k``
-    with ``inf`` / ``-1`` — the same layout ``HnswIndex.knn_search_batch``
-    produces natively.
+    with ``inf`` / ``-1`` — the same float64/int64 layout
+    ``HnswIndex.knn_search_batch`` produces natively.  A ``filter`` mask
+    is forwarded to every per-row call (pass a ``search`` that accepts
+    the keyword when using one).
     """
     Q = np.asarray(Q)
     nq = Q.shape[0]
     D = np.full((nq, k), np.inf, dtype=np.float64)
     ids = np.full((nq, k), -1, dtype=np.int64)
     for i in range(nq):
-        d, nn = search(Q[i], k)
+        if filter is None:
+            d, nn = search(Q[i], k)
+        else:
+            d, nn = search(Q[i], k, filter=filter)
         D[i, : len(d)] = d
         ids[i, : len(nn)] = nn
     return D, ids
+
+
+def check_filter_mask(filter: np.ndarray, n_rows: int) -> np.ndarray:
+    """Validate a filter mask against the index size; returns a bool view."""
+    mask = np.asarray(filter)
+    if mask.dtype != np.bool_:
+        raise TypeError(f"filter must be a boolean mask, got dtype {mask.dtype}")
+    if mask.shape != (n_rows,):
+        raise ValueError(
+            f"filter mask has shape {mask.shape}, index has {n_rows} rows"
+        )
+    return mask
+
+
+def filtered_overfetch(
+    search,
+    n_rows: int,
+    insertion_ids: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    filter: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Filtered single-query search via adaptive overfetch.
+
+    The shared fallback for backends without a native filtered traversal
+    (KD-tree, VP-tree, LSH, IVF-PQ): call the backend's unfiltered
+    ``search(query, k')`` with a doubling ``k'`` and keep the rows whose
+    external id is allowed, until ``k`` survivors are found, ``k'``
+    covers the whole index, or the backend stops yielding new candidates
+    (LSH buckets exhausted).  Exact backends therefore stay exact over
+    the matching subset — at ``k' == n_rows`` the scan is the filtered
+    brute force.
+
+    ``insertion_ids`` maps insertion-order rows to the backend's external
+    ids (what ``search`` returns); ``filter`` is the insertion-order mask.
+    """
+    mask = check_filter_mask(filter, n_rows)
+    allowed = np.asarray(insertion_ids)[mask]
+    if allowed.size == 0:
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+    kk = min(n_rows, max(2 * k, 16))
+    while True:
+        d, ids = search(query, kk)
+        keep = np.isin(ids, allowed)
+        if np.count_nonzero(keep) >= k or kk >= n_rows or len(ids) < kk:
+            return (
+                np.asarray(d, dtype=np.float64)[keep][:k],
+                np.asarray(ids, dtype=np.int64)[keep][:k],
+            )
+        kk = min(2 * kk, n_rows)

@@ -66,6 +66,9 @@ class SearchJob:
     k: int
     #: filled in by the runtime before the strategy installs
     results: GlobalResults | None = None
+    #: the run's pushed-down filter description ({"clauses": [...],
+    #: "strategy": ...}); None = unfiltered, bit-identical wire traffic
+    fpayload: dict | None = None
 
 
 class ClusterRuntime:
@@ -101,8 +104,17 @@ class ClusterRuntime:
         searcher: LocalSearcher,
         Q: np.ndarray,
         k: int,
+        *,
+        fpayload: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
-        """Simulate one batch search under ``strategy``; returns (D, I, report)."""
+        """Simulate one batch search under ``strategy``; returns (D, I, report).
+
+        ``fpayload`` is the run's filter description (see
+        :mod:`repro.filtering`): every task message carries it to the
+        workers, which answer through the searcher's filtered surface.
+        None leaves every message and result bit-identical to the
+        pre-filtering wire.
+        """
         cfg = self.config
         workgroups.reset()
         job = SearchJob(
@@ -113,7 +125,11 @@ class ClusterRuntime:
             Q=Q,
             k=k,
             results=GlobalResults(len(Q), k),
+            fpayload=fpayload,
         )
+        # searcher filter counters are cumulative across runs on a shared
+        # instance; snapshot so the report carries this run's delta only
+        fstats_before = dict(getattr(searcher, "filter_stats", None) or {})
         # coordinators first, workers second: registration order is the
         # engine's deterministic tie-break, so it is part of the contract
         strategy.install(self, job)
@@ -149,6 +165,21 @@ class ClusterRuntime:
 
         out = self.sim.run()
         D, I = job.results.result_arrays()
+        # fold the run's filter/tenant accounting into the registry before
+        # the builder snapshots it into report.metrics.  The resolved tenant
+        # rides the filter payload (per-call tenant= overrides the config's);
+        # a bare config tenant with no payload still tags.
+        tenant = fpayload.get("tenant") if fpayload is not None else cfg.tenant
+        if tenant is not None:
+            self.metrics.counter("tenant.queries").inc(len(Q))
+        fdeltas: dict[str, int] = {}
+        if fpayload is not None:
+            fstats = getattr(searcher, "filter_stats", None) or {}
+            for name, value in fstats.items():
+                delta = int(value) - int(fstats_before.get(name, 0))
+                fdeltas[name] = delta
+                # filter_tasks_pre -> the "filter.tasks_pre" instrument
+                self.metrics.counter("filter." + name[len("filter_"):]).inc(delta)
         report = ReportBuilder(
             out,
             strategy.coordinator_pids,
@@ -159,6 +190,13 @@ class ClusterRuntime:
             metrics=self.metrics,
             trace=self.recorder,
         ).build()
+        report.tenant_id = -1 if tenant is None else int(tenant)
+        if tenant is not None:
+            report.tenant_queries = len(Q)
+        if fpayload is not None:
+            report.filtered_queries = len(Q)
+            for name, delta in fdeltas.items():
+                setattr(report, name, delta)
         return D, I, report
 
 
@@ -171,8 +209,10 @@ def run_search(
     searcher: LocalSearcher,
     Q: np.ndarray,
     k: int,
+    *,
+    fpayload: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray, SearchReport]:
     """One-shot convenience: build a :class:`ClusterRuntime` and run."""
     return ClusterRuntime(config).run_search(
-        strategy, router, workgroups, node_stores, searcher, Q, k
+        strategy, router, workgroups, node_stores, searcher, Q, k, fpayload=fpayload
     )

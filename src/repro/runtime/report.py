@@ -157,6 +157,29 @@ class SearchReport:
     complete_times: np.ndarray | None = None
     #: the run's SLO target in virtual seconds (0 = no target set)
     slo_target_seconds: float = 0.0
+    # -- filtered & multi-tenant search (zeros on unfiltered runs) --
+    #: queries that carried a filter predicate (the filter is per-run, so
+    #: this is the whole batch or zero)
+    filtered_queries: int = 0
+    #: filtered tasks answered by brute force over the matching rows
+    #: (the low-selectivity "pre" strategy)
+    filter_tasks_pre: int = 0
+    #: filtered tasks answered by filtered graph traversal (the
+    #: high-selectivity "post" strategy)
+    filter_tasks_post: int = 0
+    #: distance evaluations charged by pre-strategy (brute-force) tasks
+    filter_evals_pre: int = 0
+    #: distance evaluations charged by post-strategy (traversal) tasks
+    filter_evals_post: int = 0
+    #: filtered tasks whose partition held no matching row at all
+    filter_empty_tasks: int = 0
+    #: recall of the filtered answers against brute force over the
+    #: matching rows; filled by the eval/bench layer, 0.0 when unmeasured
+    filtered_recall: float = 0.0
+    #: tenant the run's queries belong to (-1 = single-tenant run)
+    tenant_id: int = -1
+    #: queries served under that tenant (0 when ``tenant_id`` is -1)
+    tenant_queries: int = 0
     #: unified metrics-registry dump for the run (see repro.obs.metrics):
     #: {"counters": ..., "gauges": ..., "histograms": ...}
     metrics: dict = field(default_factory=dict)

@@ -27,7 +27,12 @@ from repro.core.coordinator import CoordinatorPipeline, FaultHarness
 from repro.core.owner import owner_node_program
 from repro.faults.spec import FaultPolicy
 from repro.loadbalance import LoadTracker, estimate_task_seconds, make_selector
-from repro.serving import ServingState, arrival_schedule, arrival_source_program
+from repro.serving import (
+    ServingState,
+    arrival_schedule,
+    arrival_source_program,
+    cache_namespace,
+)
 from repro.serving.coordinator import ServingPipeline
 from repro.simmpi.comm import Comm
 from repro.simmpi.engine import Mailbox
@@ -120,6 +125,14 @@ class MasterWorkerStrategy(DispatchStrategy):
                 dim=int(job.Q.shape[1]),
                 seed=cfg.seed,
                 metrics=rt.metrics,
+                # tenant/filter isolation: a (tenant, filter) pair gets its
+                # own key namespace; both None = the empty prefix, keeping
+                # unfiltered keys byte-identical.  The resolved tenant rides
+                # the payload (per-call tenant= overrides the config's).
+                cache_namespace=cache_namespace(
+                    job.fpayload.get("tenant") if job.fpayload else cfg.tenant,
+                    job.fpayload,
+                ),
             )
 
         # the coordinator core (repro.core.coordinator): the plain pipeline
@@ -141,6 +154,7 @@ class MasterWorkerStrategy(DispatchStrategy):
                     selector=selector,
                     serving=serving_state,
                     metrics=rt.metrics,
+                    fpayload=job.fpayload,
                 )
                 return (yield from harness.run(ctx))
         elif serving_state is not None:
@@ -157,6 +171,7 @@ class MasterWorkerStrategy(DispatchStrategy):
                     serving_state,
                     selector=selector,
                     metrics=rt.metrics,
+                    fpayload=job.fpayload,
                 )
                 return (yield from pipeline.run(ctx))
         else:
@@ -172,6 +187,7 @@ class MasterWorkerStrategy(DispatchStrategy):
                     window_holder[0],
                     selector=selector,
                     metrics=rt.metrics,
+                    fpayload=job.fpayload,
                 )
                 return (yield from pipeline.run(ctx))
 
@@ -245,6 +261,7 @@ class MultipleOwnerStrategy(DispatchStrategy):
                         owner_comm_holder[0],
                         job.k,
                         node_id=node,
+                        fpayload=job.fpayload,
                     )
                 )
 

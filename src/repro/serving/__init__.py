@@ -26,7 +26,7 @@ from repro.serving.arrivals import (
     arrival_source_program,
     parse_arrival_spec,
 )
-from repro.serving.cache import CACHE_MODES, ResultCache
+from repro.serving.cache import CACHE_MODES, ResultCache, cache_namespace
 from repro.serving.slo import ServingTimeline
 from repro.serving.state import ServingState
 
@@ -38,6 +38,7 @@ __all__ = [
     "parse_arrival_spec",
     "CACHE_MODES",
     "ResultCache",
+    "cache_namespace",
     "ServingTimeline",
     "ServingState",
 ]

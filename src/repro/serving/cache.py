@@ -26,15 +26,36 @@ out-of-version entry is dropped and counted ``stale`` rather than served
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["CACHE_MODES", "ResultCache"]
+__all__ = ["CACHE_MODES", "ResultCache", "cache_namespace"]
 
 CACHE_MODES = ("exact", "near")
+
+
+def cache_namespace(tenant: int | None, fpayload: dict | None) -> bytes:
+    """The cache-key namespace of a (tenant, filter) pair.
+
+    Filtered or tenant-scoped answers are only valid for identical
+    predicates: prefixing every key with a digest of the pair keeps one
+    tenant's (or one filter's) entries invisible to every other.  Both
+    None — the unfiltered single-tenant run — maps to the empty prefix,
+    so those keys stay byte-identical to the pre-filtering cache.
+    """
+    if tenant is None and fpayload is None:
+        return b""
+    blob = json.dumps(
+        {"tenant": tenant, "filter": fpayload},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+    return hashlib.sha256(blob).digest()[:8]
 
 
 def _reg_counter(metric: str):
@@ -65,6 +86,7 @@ class ResultCache:
         n_bits: int = 16,
         seed: int = 0,
         metrics: MetricsRegistry | None = None,
+        namespace: bytes = b"",
     ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
@@ -72,6 +94,9 @@ class ResultCache:
             raise ValueError(f"cache mode must be one of {CACHE_MODES}, got {mode!r}")
         self.capacity = int(capacity)
         self.mode = mode
+        #: key prefix isolating this cache's entries to one (tenant, filter)
+        #: namespace (see :func:`cache_namespace`); empty = legacy keys
+        self.namespace = bytes(namespace)
         self.version = 0
         self.registry = metrics if metrics is not None else MetricsRegistry()
         #: (version, (dists, ids)) by key, in LRU order (oldest first)
@@ -92,11 +117,14 @@ class ResultCache:
         return len(self._entries)
 
     def key(self, q: np.ndarray) -> bytes:
-        """The cache key of a query vector (quantized bytes or cell id)."""
+        """The cache key of a query vector (quantized bytes or cell id),
+        prefixed with the (tenant, filter) namespace."""
         q32 = np.ascontiguousarray(q, dtype=np.float32)
         if self.mode == "exact":
-            return q32.tobytes()
-        return np.packbits(q32.astype(np.float64) @ self._planes > 0.0).tobytes()
+            return self.namespace + q32.tobytes()
+        return self.namespace + np.packbits(
+            q32.astype(np.float64) @ self._planes > 0.0
+        ).tobytes()
 
     def get(self, key: bytes):
         """The cached ``(dists, ids)`` row, or None (counted miss/stale)."""

@@ -63,6 +63,7 @@ class ServingPipeline:
         serving: ServingState,
         selector: ReplicaSelector | None = None,
         metrics=None,
+        fpayload: dict | None = None,
     ) -> None:
         self.config = config
         self.queries = queries
@@ -76,7 +77,9 @@ class ServingPipeline:
         self.selector = selector
         self.tracker = selector.tracker
         self.router = Router(router, self.report, int(queries.shape[1]))
-        self.window = DispatchWindow(config, selector, self.report, node_mailboxes)
+        self.window = DispatchWindow(
+            config, selector, self.report, node_mailboxes, fpayload=fpayload
+        )
         self.merger = ResultMerger(
             config, results, self.report, one_sided=rma_window is not None
         )

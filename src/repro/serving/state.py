@@ -30,13 +30,21 @@ class ServingState:
         dim: int | None = None,
         seed: int = 0,
         metrics=None,
+        cache_namespace: bytes = b"",
     ) -> None:
         self.schedule = np.asarray(schedule, dtype=np.float64)
         n = int(self.schedule.shape[0])
         self.n_queries = n
         self.admission = AdmissionQueue(queue_depth, overload_policy, metrics=metrics)
         self.cache = (
-            ResultCache(cache_size, mode=cache_mode, dim=dim, seed=seed, metrics=metrics)
+            ResultCache(
+                cache_size,
+                mode=cache_mode,
+                dim=dim,
+                seed=seed,
+                metrics=metrics,
+                namespace=cache_namespace,
+            )
             if cache_size > 0
             else None
         )

@@ -240,6 +240,10 @@ class TestConfigDerivedFlags:
                     value = [c for c in meta["choices"] if c != f.default][0]
                 elif isinstance(f.default, bool):
                     continue
+                elif f.default is None and meta["type"] is int:
+                    # int-typed optional flags (e.g. --tenant) default to
+                    # None; any integer literal exercises the parse
+                    value = 7
                 elif isinstance(f.default, float):
                     value = f.default + 0.5
                 elif isinstance(f.default, int):

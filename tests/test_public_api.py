@@ -14,9 +14,11 @@ EXPECTED = [
     "ClusterRuntime",
     "DistributedANN",
     "FaultSpec",
+    "FilterSpec",
     "HnswIndex",
     "HnswParams",
     "KDTree",
+    "MetadataStore",
     "MetricsRegistry",
     "PartitionRouter",
     "ReplicaSelector",

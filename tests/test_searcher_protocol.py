@@ -89,6 +89,109 @@ class TestSearcherConformance:
             np.testing.assert_allclose(D[row, : len(d1)], d1)
 
 
+class TestFilteredConformance:
+    """The keyword-only ``filter=`` half of the protocol, every backend."""
+
+    def test_filter_none_identical_single(self, backend, data):
+        _, Q = data
+        for q in Q:
+            d0, i0 = backend.knn_search(q, 5)
+            d1, i1 = backend.knn_search(q, 5, filter=None)
+            np.testing.assert_array_equal(i0, i1)
+            np.testing.assert_array_equal(d0, d1)
+
+    def test_filter_none_identical_batch(self, backend, data):
+        _, Q = data
+        D0, I0 = backend.knn_search_batch(Q, 5)
+        D1, I1 = backend.knn_search_batch(Q, 5, filter=None)
+        np.testing.assert_array_equal(I0, I1)
+        np.testing.assert_array_equal(D0, D1)
+
+    def test_filter_restricts_results(self, backend, data):
+        X, Q = data
+        mask = np.arange(len(X)) % 3 == 0
+        d, ids = backend.knn_search(Q[0], 5, filter=mask)
+        if not isinstance(backend, LSHIndex):
+            # LSH may find no predicate-matching bucket collisions; every
+            # other backend covers the matching rows
+            assert len(ids) > 0
+        assert np.all(ids % 3 == 0)
+        assert np.all(np.diff(d) >= 0)
+
+    def test_filter_restricts_batch(self, backend, data):
+        X, Q = data
+        mask = np.arange(len(X)) % 3 == 0
+        _, I = backend.knn_search_batch(Q, 5, filter=mask)
+        real = I[I >= 0]
+        if not isinstance(backend, LSHIndex):
+            assert real.size > 0
+        assert np.all(real % 3 == 0)
+
+    def test_all_false_filter_is_empty(self, backend, data):
+        X, Q = data
+        mask = np.zeros(len(X), dtype=bool)
+        d, ids = backend.knn_search(Q[0], 5, filter=mask)
+        assert len(d) == len(ids) == 0
+        D, I = backend.knn_search_batch(Q[:2], 5, filter=mask)
+        assert np.all(I == -1) and np.all(np.isinf(D))
+
+    def test_singleton_filter_exact(self, backend, data):
+        X, Q = data
+        mask = np.zeros(len(X), dtype=bool)
+        mask[137] = True
+        _, ids = backend.knn_search(Q[0], 3, filter=mask)
+        # graph/hash backends may miss an unreachable row, but whatever
+        # they return must satisfy the predicate
+        assert np.all(ids == 137)
+
+    def test_bad_mask_dtype_rejected(self, backend, data):
+        X, Q = data
+        with pytest.raises(TypeError):
+            backend.knn_search(Q[0], 5, filter=np.zeros(len(X), dtype=np.int64))
+
+    def test_bad_mask_shape_rejected(self, backend, data):
+        X, Q = data
+        with pytest.raises(ValueError):
+            backend.knn_search(Q[0], 5, filter=np.zeros(len(X) + 1, dtype=bool))
+
+
+class TestDtypeContract:
+    """Distances float64, ids int64 — single, batch, padding, filtered."""
+
+    def test_single_query_dtypes(self, backend, data):
+        _, Q = data
+        d, ids = backend.knn_search(Q[0], 5)
+        assert d.dtype == np.float64
+        assert ids.dtype == np.int64
+
+    def test_batch_dtypes(self, backend, data):
+        _, Q = data
+        D, I = backend.knn_search_batch(Q, 5)
+        assert D.dtype == np.float64
+        assert I.dtype == np.int64
+
+    def test_filtered_dtypes(self, backend, data):
+        X, Q = data
+        mask = np.arange(len(X)) % 3 == 0
+        d, ids = backend.knn_search(Q[0], 5, filter=mask)
+        assert d.dtype == np.float64
+        assert ids.dtype == np.int64
+        D, I = backend.knn_search_batch(Q[:3], 5, filter=mask)
+        assert D.dtype == np.float64
+        assert I.dtype == np.int64
+
+    def test_padding_dtypes_when_short(self, backend, data):
+        # a filter tighter than k forces padding on the batch surface
+        X, Q = data
+        mask = np.zeros(len(X), dtype=bool)
+        mask[::100] = True  # 4 allowed rows, k=8
+        D, I = backend.knn_search_batch(Q[:2], 8, filter=mask)
+        assert D.shape == I.shape == (2, 8)
+        assert D.dtype == np.float64
+        assert I.dtype == np.int64
+        assert np.all(np.isinf(D[I == -1]))
+
+
 class TestBatchFromSingle:
     def test_pads_short_results(self):
         def fake(q, k):
